@@ -1,0 +1,367 @@
+// Command mctop-bench regenerates every table and figure of the MCTOP
+// paper's evaluation (Section 7) on the simulated platforms and prints
+// them as markdown — the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	mctop-bench              # everything
+//	mctop-bench -only fig8   # one experiment: fig1to3, fig6, sec35, fig7,
+//	                         # fig8, fig9, fig10, fig11, fig12, ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mctop "repro"
+	"repro/internal/contend"
+	"repro/internal/locks"
+	"repro/internal/machine"
+	"repro/internal/mapreduce"
+	"repro/internal/mctopalg"
+	"repro/internal/msort"
+	"repro/internal/omp"
+	"repro/internal/place"
+	"repro/internal/plugins"
+	"repro/internal/reduce"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+var topoCache = map[string]*topo.Topology{}
+
+func enriched(name string) *topo.Topology {
+	if t, ok := topoCache[name]; ok {
+		return t
+	}
+	t, err := mctop.InferPlatform(name, 42)
+	fail(err)
+	topoCache[name] = t
+	return t
+}
+
+func main() {
+	only := flag.String("only", "", "run a single experiment")
+	flag.Parse()
+	run := func(name string, f func()) {
+		if *only == "" || *only == name {
+			f()
+		}
+	}
+	run("fig1to3", figs1to3)
+	run("fig6", fig6)
+	run("sec35", sec35)
+	run("fig7", fig7)
+	run("fig8", fig8)
+	run("fig9", fig9)
+	run("fig10", fig10)
+	run("fig11", fig11)
+	run("fig12", fig12)
+	run("ablations", ablations)
+}
+
+func header(s string) { fmt.Printf("\n## %s\n\n", s) }
+
+// figs1to3: inferred topologies of the five platforms (Figures 1-3 show
+// three of them as graphs).
+func figs1to3() {
+	header("Figures 1-3 — inferred topologies (all five platforms)")
+	fmt.Println("| platform | ctx | cores | sockets | SMT | levels (median cycles) | local node of socket 0 | OS agrees? |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, name := range mctop.Platforms() {
+		p, err := sim.ByName(name)
+		fail(err)
+		m, err := machine.NewSim(p, 42)
+		fail(err)
+		o := mctopalg.DefaultOptions()
+		o.Reps = 201
+		res, err := mctopalg.Infer(m, o)
+		fail(err)
+		t, err := plugins.Enrich(m, res.Topology, nil)
+		fail(err)
+		topoCache[name] = t
+		var levels []string
+		for _, c := range res.Clusters {
+			levels = append(levels, fmt.Sprintf("%d", c.Median))
+		}
+		v := m.OSView()
+		diffs := t.CompareOS(v.CoreOfCtx, v.SocketOfCtx, v.NodeOfSocket)
+		agrees := "yes"
+		if len(diffs) > 0 {
+			agrees = "NO: " + diffs[0]
+		}
+		fmt.Printf("| %s | %d | %d | %d | %d | %s | %d | %s |\n",
+			name, t.NumHWContexts(), t.NumCores(), t.NumSockets(), t.SMTWays(),
+			strings.Join(levels, " / "), t.Socket(0).Local.ID, agrees)
+	}
+}
+
+// fig6: the four algorithm steps on Ivy.
+func fig6() {
+	header("Figure 6 — MCTOP-ALG steps on Ivy")
+	_, res, err := mctop.InferPlatformDetailed("Ivy", 42, mctop.Options{Reps: 201})
+	fail(err)
+	fmt.Printf("raw table: %dx%d, %d pairs measured, %d retries, rdtsc overhead %d cycles\n",
+		len(res.RawTable), len(res.RawTable), res.Pairs, res.Retries, res.RdtscOverhead)
+	fmt.Printf("sample raw latencies: [0][20]=%d (SMT), [0][1]=%d (intra), [0][10]=%d (cross)\n",
+		res.RawTable[0][20], res.RawTable[0][1], res.RawTable[0][10])
+	fmt.Println("\n| cluster | min | median | max | paper |")
+	fmt.Println("|---|---|---|---|---|")
+	paper := []string{"28 (SMT)", "~112 (intra-socket)", "~308 (cross-socket)"}
+	for i, c := range res.Clusters {
+		p := ""
+		if i < len(paper) {
+			p = paper[i]
+		}
+		fmt.Printf("| %d | %d | %d | %d | %s |\n", i+1, c.Min, c.Median, c.Max, p)
+	}
+	fmt.Printf("\nSMT detected: %v (ways=%d); grouping levels: %d cores of %d, %d sockets of %d contexts\n",
+		res.SMT, res.SMTWays,
+		len(res.LevelGroups[0]), len(res.LevelGroups[0][0]),
+		len(res.LevelGroups[1]), len(res.LevelGroups[1][0]))
+}
+
+// sec35: inference cost with the paper's full n=2000.
+func sec35() {
+	header("Section 3.5 — inference cost (n=2000 repetitions)")
+	fmt.Println("| platform | simulated seconds | paper |")
+	fmt.Println("|---|---|---|")
+	for _, row := range []struct{ name, paper string }{
+		{"Ivy", "~3 s"},
+		{"Westmere", "96 s"},
+	} {
+		p, err := sim.ByName(row.name)
+		fail(err)
+		m, err := machine.NewSim(p, 42)
+		fail(err)
+		res, err := mctopalg.Infer(m, mctopalg.DefaultOptions())
+		fail(err)
+		fmt.Printf("| %s | %.1f | %s |\n", row.name, m.S.SimulatedSeconds(res.Cycles), row.paper)
+	}
+}
+
+// fig7: the placement report.
+func fig7() {
+	header("Figure 7 — MCTOP-PLACE output (Ivy, CON_HWC, 30 threads)")
+	t := enriched("Ivy")
+	pl, err := mctop.Place(t, "CON_HWC", 30)
+	fail(err)
+	fmt.Println("```")
+	fmt.Print(pl.String())
+	fmt.Println("```")
+	fmt.Println("paper: 15 cores, 20/10 ctx per socket, BW 0.655/0.345, 66.7+43.4=110.1 W,")
+	fmt.Println("111.9+88.7=200.6 W with DRAM, max latency 308 cycles, min bandwidth 24.28 GB/s")
+}
+
+// fig8: lock throughput with educated backoffs.
+func fig8() {
+	header("Figure 8 — educated lock backoffs (relative throughput, educated/baseline)")
+	fmt.Println("| platform | algorithm | per-thread-count ratios | average |")
+	fmt.Println("|---|---|---|---|")
+	type agg struct {
+		sum float64
+		n   int
+	}
+	algAgg := map[locks.Algorithm]*agg{}
+	for _, alg := range locks.Algorithms() {
+		algAgg[alg] = &agg{}
+	}
+	for _, name := range mctop.Platforms() {
+		p, err := sim.ByName(name)
+		fail(err)
+		t := enriched(name)
+		quantum := t.MaxLatency()
+		for _, alg := range locks.Algorithms() {
+			var cells []string
+			var sum float64
+			var count int
+			for n := 2; n <= p.NumContexts(); n *= 2 {
+				threads := make([]int, n)
+				for i := range threads {
+					threads[i] = i
+				}
+				cfg := contend.Config{Platform: p, Threads: threads, Alg: alg,
+					CSWork: 1000, PauseWork: 100, Horizon: 3_000_000}
+				_, _, ratio, err := contend.RelativeThroughput(cfg, quantum)
+				fail(err)
+				cells = append(cells, fmt.Sprintf("%d:%.2f", n, ratio))
+				sum += ratio
+				count++
+			}
+			avg := sum / float64(count)
+			algAgg[alg].sum += avg
+			algAgg[alg].n++
+			fmt.Printf("| %s | %s | %s | %.3f |\n", name, alg, strings.Join(cells, " "), avg)
+		}
+	}
+	fmt.Println()
+	for _, alg := range locks.Algorithms() {
+		a := algAgg[alg]
+		fmt.Printf("overall %s average: %.3f (paper: TAS +12%%, TTAS +11%%, TICKET +39%%)\n",
+			alg, a.sum/float64(a.n))
+	}
+}
+
+// fig9: the sort breakdown.
+func fig9() {
+	header("Figure 9 — sorting 1 GB of integers (modeled seconds, seq + merge)")
+	fmt.Println("| platform | threads | gnu | mctop | mctop_sse | mctop vs gnu |")
+	fmt.Println("|---|---|---|---|---|---|")
+	var relSum float64
+	var relN int
+	for _, name := range mctop.Platforms() {
+		t := enriched(name)
+		for _, threads := range []int{16, t.NumHWContexts()} {
+			rows := map[msort.Variant]msort.Fig9Row{}
+			for _, v := range []msort.Variant{msort.VariantGNU, msort.VariantMCTOP, msort.VariantMCTOPSSE} {
+				r, err := msort.ModelFig9(t, v, threads)
+				fail(err)
+				rows[v] = r
+			}
+			rel := rows[msort.VariantMCTOP].TotalSec() / rows[msort.VariantGNU].TotalSec()
+			relSum += rel
+			relN++
+			fmt.Printf("| %s | %d | %.2f (%.2f+%.2f) | %.2f (%.2f+%.2f) | %.2f | %.2f |\n",
+				name, threads,
+				rows[msort.VariantGNU].TotalSec(), rows[msort.VariantGNU].SeqSec, rows[msort.VariantGNU].MergeSec,
+				rows[msort.VariantMCTOP].TotalSec(), rows[msort.VariantMCTOP].SeqSec, rows[msort.VariantMCTOP].MergeSec,
+				rows[msort.VariantMCTOPSSE].TotalSec(), rel)
+		}
+	}
+	fmt.Printf("\naverage mctop/gnu = %.3f (paper: mctop_sort 17%% faster on average)\n", relSum/float64(relN))
+}
+
+// fig10: Metis with MCTOP-PLACE.
+func fig10() {
+	header("Figure 10 — Metis with MCTOP placement (relative time/energy vs stock Metis)")
+	fmt.Println("| workload | platform | policy | threads (vs default) | rel time | rel energy |")
+	fmt.Println("|---|---|---|---|---|---|")
+	var sum float64
+	var n int
+	var eSum float64
+	var eN int
+	for _, name := range mctop.Platforms() {
+		t := enriched(name)
+		rows, err := mapreduce.ModelFig10(t)
+		fail(err)
+		for _, r := range rows {
+			energy := "n/a"
+			if r.RelEnergy > 0 {
+				energy = fmt.Sprintf("%.3f", r.RelEnergy)
+				eSum += r.RelEnergy
+				eN++
+			}
+			fmt.Printf("| %s | %s | %v | %d (%d) | %.3f | %s |\n",
+				r.Workload, r.Platform, r.Policy, r.Threads, r.DefaultThreads, r.RelTime, energy)
+			sum += r.RelTime
+			n++
+		}
+	}
+	fmt.Printf("\naverage rel time = %.3f (paper: 0.83); average rel energy on Intel = %.3f (paper: 0.86)\n",
+		sum/float64(n), eSum/float64(eN))
+}
+
+// fig11: energy-oriented placement.
+func fig11() {
+	header("Figure 11 — energy-oriented placement on Ivy (POWER vs performance)")
+	t := enriched("Ivy")
+	rows, err := mapreduce.ModelFig11(t)
+	fail(err)
+	fmt.Println("| workload | rel time | rel energy | energy efficiency | paper (time/energy/eff) |")
+	fmt.Println("|---|---|---|---|---|")
+	paper := map[mapreduce.WorkloadName]string{
+		mapreduce.WLKMeans: "1.186 / 0.774 / 1.089",
+		mapreduce.WLMean:   "1.045 / 0.915 / 1.046",
+	}
+	for _, r := range rows {
+		fmt.Printf("| %s | %.3f | %.3f | %.3f | %s |\n",
+			r.Workload, r.RelTime, r.RelEnergy, r.EnergyEfficiency, paper[r.Workload])
+	}
+}
+
+// fig12: MCTOP MP vs OpenMP.
+func fig12() {
+	header("Figure 12 — MCTOP MP vs default OpenMP (graph workloads, x86 platforms)")
+	fmt.Println("| workload | platform | chosen policy | threads | rel time |")
+	fmt.Println("|---|---|---|---|---|")
+	var sum float64
+	var n int
+	for _, name := range []string{"Ivy", "Opteron", "Haswell", "Westmere"} {
+		t := enriched(name)
+		rows, err := omp.ModelFig12(t)
+		fail(err)
+		for _, r := range rows {
+			fmt.Printf("| %s | %s | %v | %d | %.3f |\n", r.Kernel, r.Platform, r.Chosen, r.Threads, r.RelTime)
+			sum += r.RelTime
+			n++
+		}
+	}
+	fmt.Printf("\naverage rel time = %.3f (paper: ~0.78, i.e. 22%% faster)\n", sum/float64(n))
+	ivy := enriched("Ivy")
+	fixed, err := omp.BestFixed(ivy)
+	fail(err)
+	adaptive, err := omp.AdaptiveCombination(ivy)
+	fail(err)
+	fmt.Printf("Combination on Ivy: best fixed placement %.3g cycles vs adaptive re-binding %.3g (%.1f%% better)\n",
+		float64(fixed), float64(adaptive), 100*(1-float64(adaptive)/float64(fixed)))
+}
+
+// ablations: the design-choice benchmarks of DESIGN.md.
+func ablations() {
+	header("Ablations")
+	// Merge tree.
+	t := enriched("Opteron")
+	sockets := []int{0, 3, 5, 6, 1, 2, 7, 4}
+	greedy, err := reduce.Tree(t, sockets, 0)
+	fail(err)
+	opt, err := reduce.OptimalTree(t, sockets, 0, 1<<27)
+	fail(err)
+	naive, err := reduce.NaiveTree(t, sockets, 0)
+	fail(err)
+	fmt.Printf("merge tree on Opteron (128 MB/socket): naive %.3g cycles, greedy (paper) %.3g, optimal %.3g\n",
+		float64(reduce.Cost(t, naive, 1<<27)), float64(reduce.Cost(t, greedy, 1<<27)),
+		float64(reduce.Cost(t, opt, 1<<27)))
+
+	// Backoff quantum.
+	ivy := enriched("Ivy")
+	p, err := sim.ByName("Ivy")
+	fail(err)
+	threads := make([]int, 40)
+	for i := range threads {
+		threads[i] = i
+	}
+	educated := ivy.MaxLatency()
+	fmt.Printf("ticket backoff quantum sweep (Ivy, 40 threads, acquisitions/Mcycle):")
+	for _, mul := range []struct {
+		label string
+		q     int64
+	}{{"0", 0}, {"x0.5", educated / 2}, {"x1 (educated)", educated}, {"x2", educated * 2}, {"x4", educated * 4}} {
+		res, err := contend.Run(contend.Config{Platform: p, Threads: threads,
+			Alg: locks.AlgTicket, Quantum: mul.q, CSWork: 1000, PauseWork: 100, Horizon: 3_000_000})
+		fail(err)
+		fmt.Printf("  %s=%.1f", mul.label, res.Throughput)
+	}
+	fmt.Println()
+
+	// Placement policies overview on one big machine.
+	wes := enriched("Westmere")
+	fmt.Println("\nplacement policies on Westmere (64 threads): cores used / sockets used / max latency")
+	for _, pol := range place.Policies() {
+		pl, err := place.New(wes, pol, place.Options{NThreads: 64})
+		if err != nil {
+			fmt.Printf("  %-32v unavailable (%v)\n", pol, err)
+			continue
+		}
+		fmt.Printf("  %-32v %3d cores, %d sockets, %4d cycles\n",
+			pol, pl.NCores(), len(pl.SocketsUsed()), pl.MaxLatency())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctop-bench:", err)
+		os.Exit(1)
+	}
+}

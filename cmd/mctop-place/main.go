@@ -1,0 +1,66 @@
+// Command mctop-place computes MCTOP-PLACE thread placements and prints the
+// report of the paper's Figure 7.
+//
+// Usage:
+//
+//	mctop-place -platform Ivy -policy CON_HWC -threads 30
+//	mctop-place -load ivy.mct -policy RR_CORE -threads 16
+//	mctop-place -platform Opteron -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	mctop "repro"
+	"repro/internal/place"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "Ivy", "simulated platform to infer")
+		seed     = flag.Uint64("seed", 42, "simulator noise seed")
+		load     = flag.String("load", "", "load a description file instead of inferring")
+		policy   = flag.String("policy", "CON_HWC", "placement policy (see -all for the list)")
+		threads  = flag.Int("threads", 0, "threads to place (0 = as many as the policy allows)")
+		sockets  = flag.Int("sockets", 0, "sockets to use (0 = all)")
+		all      = flag.Bool("all", false, "print every policy's placement")
+	)
+	flag.Parse()
+
+	var top *mctop.Topology
+	var err error
+	if *load != "" {
+		top, err = mctop.Load(*load)
+	} else {
+		top, err = mctop.InferPlatform(*platform, *seed)
+	}
+	fail(err)
+
+	if *all {
+		for _, pol := range place.Policies() {
+			pl, err := place.New(top, pol, place.Options{NThreads: *threads, NSockets: *sockets})
+			if err != nil {
+				fmt.Printf("## %v: %v\n\n", pol, err)
+				continue
+			}
+			fmt.Print(pl.String())
+			fmt.Println()
+		}
+		return
+	}
+
+	pol, err := place.ParsePolicy(*policy)
+	fail(err)
+	pl, err := place.New(top, pol, place.Options{NThreads: *threads, NSockets: *sockets})
+	fail(err)
+	fmt.Print(pl.String())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctop-place:", err)
+		os.Exit(1)
+	}
+}

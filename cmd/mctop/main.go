@@ -1,0 +1,120 @@
+// Command mctop infers the MCTOP topology of a machine — one of the five
+// simulated platforms of the paper or, best effort, the real host — then
+// prints it, optionally renders its Graphviz graphs, validates it against
+// the OS view, and saves a description file.
+//
+// Usage:
+//
+//	mctop -platform Opteron -dot -out opteron.mct
+//	mctop -platform Ivy -validate
+//	mctop -host
+//	mctop -load opteron.mct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	mctop "repro"
+	"repro/internal/machine"
+	"repro/internal/mctopalg"
+	"repro/internal/plugins"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "Ivy", "simulated platform: Ivy, Westmere, Haswell, Opteron, SPARC")
+		seed     = flag.Uint64("seed", 42, "simulator noise seed")
+		reps     = flag.Int("reps", 201, "repetitions per context pair (paper default: 2000)")
+		host     = flag.Bool("host", false, "infer the real host instead of a simulated platform")
+		load     = flag.String("load", "", "load a description file instead of inferring")
+		out      = flag.String("out", "", "save the description file here")
+		dot      = flag.Bool("dot", false, "print the Graphviz graphs")
+		heatmap  = flag.Bool("heatmap", false, "print the latency-table heatmap (Figure 6)")
+		csv      = flag.Bool("csv", false, "print the raw latency table as CSV")
+		validate = flag.Bool("validate", false, "compare the inferred topology against the OS view")
+	)
+	flag.Parse()
+
+	var top *mctop.Topology
+	var osView *machine.OSView
+	var inferRes *mctopalg.Result
+
+	switch {
+	case *load != "":
+		var err error
+		top, err = mctop.Load(*load)
+		fail(err)
+		fmt.Printf("loaded %s\n", *load)
+	case *host:
+		fmt.Println("inferring host topology (best effort; the Go runtime is noisy)...")
+		t, res, err := mctop.InferHost(mctop.Options{Reps: *reps})
+		fail(err)
+		top = t
+		inferRes = res
+		fmt.Printf("measured %d pairs, %d retries, rdtsc overhead ~%d ns\n",
+			res.Pairs, res.Retries, res.RdtscOverhead)
+	default:
+		p, err := sim.ByName(*platform)
+		fail(err)
+		m, err := machine.NewSim(p, *seed)
+		fail(err)
+		o := mctopalg.DefaultOptions()
+		o.Reps = *reps
+		res, err := mctopalg.Infer(m, o)
+		fail(err)
+		enriched, err := plugins.Enrich(m, res.Topology, nil)
+		fail(err)
+		top = enriched
+		inferRes = res
+		v := m.OSView()
+		osView = &v
+		fmt.Printf("inferred %s: %d pairs measured, %d retries, %.2f simulated seconds\n",
+			p.Name, res.Pairs, res.Retries, m.S.SimulatedSeconds(res.Cycles))
+	}
+
+	fmt.Println()
+	fmt.Print(top.String())
+
+	if *validate && osView != nil {
+		fmt.Println()
+		diffs := top.CompareOS(osView.CoreOfCtx, osView.SocketOfCtx, osView.NodeOfSocket)
+		if len(diffs) == 0 {
+			fmt.Println("OS comparison: topologies match")
+		} else {
+			fmt.Println("OS comparison: DIVERGENCES FOUND (the OS may be misconfigured):")
+			for _, d := range diffs {
+				fmt.Println("  -", d)
+			}
+		}
+	}
+
+	if *heatmap && inferRes != nil {
+		fmt.Println()
+		fmt.Print(inferRes.Heatmap())
+	}
+	if *csv && inferRes != nil {
+		fmt.Println()
+		fmt.Print(inferRes.CSV())
+	}
+
+	if *dot {
+		fmt.Println()
+		fmt.Println(top.DotIntraSocket(0))
+		fmt.Println(top.DotCrossSocket())
+	}
+
+	if *out != "" {
+		fail(mctop.Save(*out, top))
+		fmt.Printf("\ndescription file written to %s\n", *out)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctop:", err)
+		os.Exit(1)
+	}
+}

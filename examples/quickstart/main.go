@@ -1,0 +1,62 @@
+// Quickstart: infer a topology, query the MCTOP abstraction, place
+// threads, and round-trip the description file — the complete basic
+// workflow of the paper's Section 2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	mctop "repro"
+)
+
+func main() {
+	// Infer the paper's 2-socket Ivy Bridge (simulated; seed fixes the
+	// measurement noise so runs are reproducible).
+	top, res, err := mctop.InferPlatformDetailed("Ivy", 42, mctop.Options{Reps: 201})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inferred %s: %d contexts, %d cores, %d sockets, SMT=%d\n",
+		top.Name(), top.NumHWContexts(), top.NumCores(), top.NumSockets(), top.SMTWays())
+	fmt.Printf("latency levels:")
+	for _, c := range res.Clusters {
+		fmt.Printf(" %d", c.Median)
+	}
+	fmt.Println(" cycles")
+
+	// The query interface of Section 2.
+	fmt.Printf("local node of context 0: node %d\n", top.GetLocalNode(0).ID)
+	fmt.Printf("latency ctx0<->ctx20 (SMT siblings): %d cycles\n", top.GetLatency(0, 20))
+	fmt.Printf("latency ctx0<->ctx10 (cross-socket): %d cycles\n", top.GetLatency(0, 10))
+	fmt.Printf("cores on socket 0: %d\n", len(top.SocketGetCores(top.Socket(0))))
+	a, b := top.MinLatencyPair()
+	fmt.Printf("best-connected socket pair: %d-%d\n", a.ID, b.ID)
+
+	// Place 30 threads compactly — the placement report of Figure 7.
+	pl, err := mctop.Place(top, "CON_HWC", 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(pl.String())
+
+	// Description files: create once, load forever (Section 2).
+	dir, err := os.MkdirTemp("", "mctop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ivy.mct")
+	if err := mctop.Save(path, top); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := mctop.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nround-tripped description file: %s (max latency %d cycles)\n",
+		path, loaded.MaxLatency())
+}

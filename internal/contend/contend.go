@@ -1,0 +1,355 @@
+// Package contend is a deterministic discrete-event simulator of spinlock
+// contention over a machine's coherence fabric. It regenerates Figure 8 of
+// the MCTOP paper: the throughput of TAS, TTAS and ticket locks with and
+// without MCTOP's educated backoffs, across thread counts and platforms.
+//
+// The model is built on the same observation as MCTOP-ALG itself: a lock
+// word is a cache line, and every probe of it is a coherence transaction
+// whose cost is the communication latency between the prober and the
+// line's current holder. The line serializes its accesses, so a holder
+// trying to release a contended lock queues behind the spinners hammering
+// it — exactly the pathology educated backoffs mitigate.
+package contend
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+// Config describes one contention experiment.
+type Config struct {
+	// Platform supplies the ground-truth communication latencies (the
+	// "hardware" the locks run on).
+	Platform *sim.Platform
+	// Threads lists the hardware contexts running lock/unlock loops.
+	Threads []int
+	// Alg selects the lock algorithm.
+	Alg locks.Algorithm
+	// Quantum is the educated-backoff quantum in cycles (0 = baseline:
+	// a pause-instruction-sized breath between probes).
+	Quantum int64
+	// CSWork is the critical-section length in cycles (the paper uses
+	// 1000).
+	CSWork int64
+	// PauseWork is the non-critical pause after each iteration ("threads
+	// pause after each iteration to avoid long runs").
+	PauseWork int64
+	// Horizon is the simulated duration in cycles.
+	Horizon int64
+	// ReadOccupancy and WriteOccupancy are how long one probe keeps the
+	// line's home (LLC slice or directory) busy. Coherence requests
+	// pipeline: a requester waits the full communication latency for its
+	// answer, but the fabric can serve the next request much sooner.
+	// Defaults: 40 and 90 cycles.
+	ReadOccupancy, WriteOccupancy int64
+}
+
+// Result reports an experiment's outcome.
+type Result struct {
+	// Acquisitions is the total number of lock acquisitions.
+	Acquisitions int64
+	// Throughput is acquisitions per million cycles.
+	Throughput float64
+	// PerThread is each thread's acquisition count (fairness analysis).
+	PerThread []int64
+	// Transfers counts coherence transfers on the lock line(s).
+	Transfers int64
+}
+
+// phase is a thread's position in its lock/unlock loop.
+type phase int
+
+const (
+	phTryAcquire phase = iota // TAS: CAS probe; TTAS: test read; Ticket: take ticket
+	phTTASCas                 // TTAS: saw free, attempt the CAS
+	phCheckGrant              // Ticket: read the grant counter
+	phUnlock
+	phWaiting // subscribed to a line's next invalidation
+)
+
+// line models one cache line as a serially reusable resource.
+type line struct {
+	freeAt    int64
+	holder    int // hardware context of the last accessor, -1 if cold
+	version   int64
+	value     int64 // lock state / ticket counter / grant counter
+	waiters   []int // thread indices subscribed to the next write
+	transfers int64
+}
+
+type thread struct {
+	ctx      int
+	ready    int64
+	ph       phase
+	after    phase // phase to enter after a subscription wakes us
+	myTicket int64
+	// cachedVersion lets TTAS distinguish a local re-read from a fetch.
+	cachedVersion int64
+	acq           int64
+}
+
+type simState struct {
+	cfg     Config
+	p       *sim.Platform
+	threads []*thread
+	lockL   line // TAS/TTAS lock word; Ticket: ticket counter
+	grantL  line // Ticket: grant counter
+}
+
+// access runs a probe on a line: the line's home serves requests in
+// arrival order, each occupying it for the (short) service slot, while the
+// requester itself waits the full communication latency for its answer.
+// Returns the time the requester has its result.
+func (s *simState) access(l *line, t *thread, now int64, write bool) int64 {
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	var cost, occ int64
+	switch {
+	case l.holder == -1:
+		cost = s.p.MemLat[s.p.SocketOf(t.ctx)][s.p.LocalNode(s.p.SocketOf(t.ctx))]
+		occ = s.cfg.WriteOccupancy
+	case l.holder == t.ctx:
+		cost = s.p.HitCASLat
+		occ = 10 // local hit barely touches the fabric
+	default:
+		cost = s.p.PairLatency(l.holder, t.ctx)
+		if write {
+			occ = s.cfg.WriteOccupancy
+		} else {
+			occ = s.cfg.ReadOccupancy
+		}
+		l.transfers++
+	}
+	done := start + cost
+	l.freeAt = start + occ
+	l.holder = t.ctx
+	if write {
+		l.version++
+		// Wake every subscriber: their cached copies are invalidated.
+		for _, wi := range l.waiters {
+			w := s.threads[wi]
+			if w.ph == phWaiting {
+				w.ph = w.after
+				if w.ready < done {
+					w.ready = done
+				}
+			}
+		}
+		l.waiters = l.waiters[:0]
+	}
+	return done
+}
+
+func (s *simState) subscribe(l *line, ti int, after phase) {
+	t := s.threads[ti]
+	t.ph = phWaiting
+	t.after = after
+	l.waiters = append(l.waiters, ti)
+}
+
+// backoffWait is the time a thread waits before re-probing.
+func (s *simState) backoffWait(position int64) int64 {
+	if s.cfg.Quantum <= 0 {
+		return 35 // the pause-instruction baseline
+	}
+	q := s.cfg.Quantum
+	if position > 1 {
+		q *= position
+	}
+	return q
+}
+
+// Run executes the experiment. It is fully deterministic.
+func Run(cfg Config) (Result, error) {
+	if cfg.Platform == nil || len(cfg.Threads) == 0 {
+		return Result{}, fmt.Errorf("contend: platform and threads required")
+	}
+	if cfg.CSWork <= 0 {
+		cfg.CSWork = 1000
+	}
+	if cfg.PauseWork < 0 {
+		cfg.PauseWork = 0
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 5_000_000
+	}
+	if cfg.ReadOccupancy <= 0 {
+		cfg.ReadOccupancy = 40
+	}
+	if cfg.WriteOccupancy <= 0 {
+		cfg.WriteOccupancy = 90
+	}
+	for _, c := range cfg.Threads {
+		if c < 0 || c >= cfg.Platform.NumContexts() {
+			return Result{}, fmt.Errorf("contend: context %d out of range on %s", c, cfg.Platform.Name)
+		}
+	}
+
+	s := &simState{cfg: cfg, p: cfg.Platform}
+	s.lockL = line{holder: -1}
+	s.grantL = line{holder: -1}
+	for i, c := range cfg.Threads {
+		// Skew start times so threads do not arrive in artificial lockstep.
+		s.threads = append(s.threads, &thread{ctx: c, ready: int64(i) * 13})
+	}
+
+	for {
+		// Pick the earliest runnable thread (lowest index breaks ties).
+		ti := -1
+		for i, t := range s.threads {
+			if t.ph == phWaiting {
+				continue
+			}
+			if ti == -1 || t.ready < s.threads[ti].ready {
+				ti = i
+			}
+		}
+		if ti == -1 || s.threads[ti].ready >= cfg.Horizon {
+			break
+		}
+		s.step(ti)
+	}
+
+	var res Result
+	res.PerThread = make([]int64, len(s.threads))
+	for i, t := range s.threads {
+		res.PerThread[i] = t.acq
+		res.Acquisitions += t.acq
+	}
+	res.Throughput = float64(res.Acquisitions) / float64(cfg.Horizon) * 1e6
+	res.Transfers = s.lockL.transfers + s.grantL.transfers
+	return res, nil
+}
+
+func (s *simState) step(ti int) {
+	t := s.threads[ti]
+	now := t.ready
+	switch s.cfg.Alg {
+	case locks.AlgTAS:
+		s.stepTAS(ti, t, now)
+	case locks.AlgTTAS:
+		s.stepTTAS(ti, t, now)
+	case locks.AlgTicket:
+		s.stepTicket(ti, t, now)
+	}
+}
+
+func (s *simState) stepTAS(ti int, t *thread, now int64) {
+	switch t.ph {
+	case phTryAcquire:
+		done := s.access(&s.lockL, t, now, true)
+		if s.lockL.value == 0 {
+			s.lockL.value = 1
+			t.ph = phUnlock
+			t.ready = done + s.cfg.CSWork
+		} else {
+			t.ready = done + s.backoffWait(1)
+		}
+	case phUnlock:
+		done := s.access(&s.lockL, t, now, true)
+		s.lockL.value = 0
+		t.acq++
+		t.ph = phTryAcquire
+		t.ready = done + s.cfg.PauseWork
+	}
+}
+
+func (s *simState) stepTTAS(ti int, t *thread, now int64) {
+	switch t.ph {
+	case phTryAcquire: // test: read the lock word
+		if t.cachedVersion == s.lockL.version && s.lockL.holder != t.ctx && s.lockL.value == 1 {
+			// Valid cached copy, still locked: spin locally.
+			if s.cfg.Quantum > 0 {
+				// Educated: check again one quantum later.
+				t.ready = now + s.backoffWait(1)
+			} else {
+				// Baseline: camp on the cached copy until invalidated.
+				s.subscribe(&s.lockL, ti, phTryAcquire)
+			}
+			return
+		}
+		done := s.access(&s.lockL, t, now, false)
+		t.cachedVersion = s.lockL.version
+		if s.lockL.value == 0 {
+			t.ph = phTTASCas
+			t.ready = done
+		} else if s.cfg.Quantum > 0 {
+			t.ready = done + s.backoffWait(1)
+		} else {
+			s.subscribe(&s.lockL, ti, phTryAcquire)
+		}
+	case phTTASCas:
+		done := s.access(&s.lockL, t, now, true)
+		if s.lockL.value == 0 {
+			s.lockL.value = 1
+			t.ph = phUnlock
+			t.ready = done + s.cfg.CSWork
+		} else {
+			t.ph = phTryAcquire
+			t.ready = done + s.backoffWait(1)
+		}
+	case phUnlock:
+		done := s.access(&s.lockL, t, now, true)
+		s.lockL.value = 0
+		t.acq++
+		t.ph = phTryAcquire
+		t.ready = done + s.cfg.PauseWork
+	}
+}
+
+func (s *simState) stepTicket(ti int, t *thread, now int64) {
+	switch t.ph {
+	case phTryAcquire: // fetch-and-increment the ticket counter
+		done := s.access(&s.lockL, t, now, true)
+		t.myTicket = s.lockL.value
+		s.lockL.value++
+		t.ph = phCheckGrant
+		t.ready = done
+	case phCheckGrant:
+		done := s.access(&s.grantL, t, now, false)
+		dist := t.myTicket - s.grantL.value
+		switch {
+		case dist == 0:
+			t.ph = phUnlock
+			t.ready = done + s.cfg.CSWork
+		case s.cfg.Quantum > 0:
+			// Educated, proportional: sleep roughly until our turn.
+			t.ready = done + s.backoffWait(dist)
+		default:
+			// Baseline: camp on the grant line; every release floods all
+			// waiters with re-reads.
+			s.subscribe(&s.grantL, ti, phCheckGrant)
+		}
+	case phUnlock:
+		done := s.access(&s.grantL, t, now, true)
+		s.grantL.value++
+		t.acq++
+		t.ph = phTryAcquire
+		t.ready = done + s.cfg.PauseWork
+	}
+}
+
+// RelativeThroughput runs baseline and educated variants of one experiment
+// and returns educated/baseline — the y-axis of Figure 8.
+func RelativeThroughput(cfg Config, quantum int64) (baseline, educated Result, ratio float64, err error) {
+	base := cfg
+	base.Quantum = 0
+	baseline, err = Run(base)
+	if err != nil {
+		return
+	}
+	edu := cfg
+	edu.Quantum = quantum
+	educated, err = Run(edu)
+	if err != nil {
+		return
+	}
+	if baseline.Throughput > 0 {
+		ratio = educated.Throughput / baseline.Throughput
+	}
+	return
+}

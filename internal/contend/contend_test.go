@@ -1,0 +1,187 @@
+package contend
+
+import (
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+func seqThreads(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleThreadNoContention(t *testing.T) {
+	p := sim.Ivy()
+	for _, alg := range locks.Algorithms() {
+		cfg := Config{
+			Platform: p, Threads: []int{0}, Alg: alg,
+			CSWork: 1000, PauseWork: 100, Horizon: 1_000_000,
+		}
+		res := run(t, cfg)
+		if res.Acquisitions < 500 {
+			t.Errorf("%v: only %d acquisitions single-threaded", alg, res.Acquisitions)
+		}
+		// Roughly horizon / (CS + pause + a few line hits).
+		if res.Acquisitions > 1_000_000/1100 {
+			t.Errorf("%v: %d acquisitions too many", alg, res.Acquisitions)
+		}
+	}
+}
+
+func TestThroughputDropsUnderContention(t *testing.T) {
+	p := sim.Ivy()
+	for _, alg := range locks.Algorithms() {
+		one := run(t, Config{Platform: p, Threads: seqThreads(1), Alg: alg,
+			CSWork: 1000, PauseWork: 100, Horizon: 2_000_000})
+		many := run(t, Config{Platform: p, Threads: seqThreads(20), Alg: alg,
+			CSWork: 1000, PauseWork: 100, Horizon: 2_000_000})
+		// Aggregate throughput under heavy contention must not beat the
+		// uncontended single thread (the lock serializes everything and
+		// adds transfer overhead).
+		if many.Throughput > one.Throughput*1.05 {
+			t.Errorf("%v: contended throughput %f > solo %f", alg, many.Throughput, one.Throughput)
+		}
+		if many.Transfers == 0 {
+			t.Errorf("%v: no coherence transfers under contention?", alg)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := sim.Opteron()
+	cfg := Config{Platform: p, Threads: seqThreads(12), Alg: locks.AlgTicket,
+		CSWork: 1000, PauseWork: 100, Horizon: 2_000_000, Quantum: 300}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.Acquisitions != b.Acquisitions || a.Transfers != b.Transfers {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTicketIsFair(t *testing.T) {
+	p := sim.Ivy()
+	res := run(t, Config{Platform: p, Threads: seqThreads(10), Alg: locks.AlgTicket,
+		CSWork: 1000, PauseWork: 100, Horizon: 4_000_000, Quantum: 308})
+	min, max := res.PerThread[0], res.PerThread[0]
+	for _, v := range res.PerThread {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// FIFO: nobody starves.
+	if min == 0 || float64(max) > 1.5*float64(min) {
+		t.Errorf("ticket unfair: per-thread %v", res.PerThread)
+	}
+}
+
+// TestEducatedBackoffHelpsTicket is the core of Figure 8: with many
+// threads, the proportional educated backoff must clearly beat the
+// baseline that floods the grant line.
+func TestEducatedBackoffHelpsTicket(t *testing.T) {
+	p := sim.Ivy()
+	cfg := Config{Platform: p, Threads: seqThreads(40), Alg: locks.AlgTicket,
+		CSWork: 1000, PauseWork: 100, Horizon: 4_000_000}
+	_, _, ratio, err := RelativeThroughput(cfg, 308)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1.10 {
+		t.Errorf("educated ticket backoff ratio = %.3f, want clearly > 1.1", ratio)
+	}
+}
+
+func TestEducatedBackoffHelpsTAS(t *testing.T) {
+	p := sim.Ivy()
+	cfg := Config{Platform: p, Threads: seqThreads(40), Alg: locks.AlgTAS,
+		CSWork: 1000, PauseWork: 100, Horizon: 4_000_000}
+	_, _, ratio, err := RelativeThroughput(cfg, 308)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1.02 {
+		t.Errorf("educated TAS backoff ratio = %.3f, want > 1", ratio)
+	}
+}
+
+// TestTTASGainShrinksWithContention reproduces the paper's observation:
+// "With TTAS, as contention increases, backing off does not make a
+// difference, since most threads are still bashing the cache line."
+func TestTTASGainShrinksWithContention(t *testing.T) {
+	p := sim.Westmere()
+	cfg := Config{Platform: p, Threads: seqThreads(160), Alg: locks.AlgTTAS,
+		CSWork: 1000, PauseWork: 100, Horizon: 4_000_000}
+	_, _, ratio, err := RelativeThroughput(cfg, 458)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 0.8 || ratio > 1.35 {
+		t.Errorf("TTAS high-contention ratio = %.3f, want near 1", ratio)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := Run(Config{Platform: sim.Ivy(), Threads: []int{999}}); err == nil {
+		t.Error("out-of-range context should fail")
+	}
+}
+
+// TestFig8ShapeAcrossPlatforms: on every platform, the average educated
+// gain over the thread sweep must be positive for TICKET and non-ruinous
+// for TAS/TTAS — the aggregate claims of Section 7.1 (TAS +12%, TTAS +11%,
+// TICKET +39% on average).
+func TestFig8ShapeAcrossPlatforms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, p := range []*sim.Platform{sim.Ivy(), sim.Opteron()} {
+		quantum := int64(308)
+		if p.Name == "Opteron" {
+			quantum = 300
+		}
+		for _, alg := range locks.Algorithms() {
+			var sum float64
+			var count int
+			for n := 4; n <= p.NumContexts(); n *= 2 {
+				cfg := Config{Platform: p, Threads: seqThreads(n), Alg: alg,
+					CSWork: 1000, PauseWork: 100, Horizon: 3_000_000}
+				_, _, ratio, err := RelativeThroughput(cfg, quantum)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += ratio
+				count++
+			}
+			avg := sum / float64(count)
+			switch alg {
+			case locks.AlgTicket:
+				if avg < 1.05 {
+					t.Errorf("%s/%v: average ratio %.3f, want > 1.05", p.Name, alg, avg)
+				}
+			default:
+				if avg < 0.95 {
+					t.Errorf("%s/%v: average ratio %.3f, want >= ~1", p.Name, alg, avg)
+				}
+			}
+		}
+	}
+}

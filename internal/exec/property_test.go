@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/place"
+	"repro/internal/sim"
+)
+
+// Model sanity properties: the execution model must be monotone in its
+// inputs, or policy comparisons built on it mean nothing.
+
+// Property: more work never takes fewer cycles (same placement).
+func TestMoreWorkNeverFaster(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	ctxs := placed(t, tp, place.ConCore, 8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := int64(rng.Intn(1e9) + 1)
+		wl1 := Workload{Name: "a", Phases: []Phase{{WorkCycles: w, SMTFriendly: 0.3}}}
+		wl2 := Workload{Name: "b", Phases: []Phase{{WorkCycles: w * 2, SMTFriendly: 0.3}}}
+		r1, err1 := Estimate(tp, ctxs, wl1)
+		r2, err2 := Estimate(tp, ctxs, wl2)
+		return err1 == nil && err2 == nil && r2.Cycles >= r1.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for pure compute, more unique cores never hurt.
+func TestMoreCoresNeverSlowerForCompute(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	wl := Workload{Name: "c", Phases: []Phase{{WorkCycles: 1e9, SMTFriendly: 0.3}}}
+	prev := int64(1 << 62)
+	for n := 1; n <= 20; n += 3 {
+		r, err := Estimate(tp, placed(t, tp, place.ConCore, n), wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles > prev {
+			t.Fatalf("%d cores slower than fewer: %d > %d", n, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+// Property: more traffic never streams faster.
+func TestMoreBytesNeverFaster(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	ctxs := placed(t, tp, place.BalanceCore, 8)
+	prev := int64(0)
+	for b := int64(1 << 24); b <= 1<<30; b *= 4 {
+		wl := Workload{Name: "m", Phases: []Phase{{Bytes: b, Data: DataLocal}}}
+		r, err := Estimate(tp, ctxs, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles < prev {
+			t.Fatalf("%d bytes faster than fewer: %d < %d", b, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+// Property: adding sync ops adds exactly maxLat per op for a fixed
+// placement.
+func TestSyncLinear(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	ctxs := placed(t, tp, place.ConCoreHWC, 8)
+	mk := func(ops int64) Workload {
+		return Workload{Name: "s", Phases: []Phase{{WorkCycles: 1e6, SyncOps: ops}}}
+	}
+	r0, _ := Estimate(tp, ctxs, mk(0))
+	r1, _ := Estimate(tp, ctxs, mk(1000))
+	r2, _ := Estimate(tp, ctxs, mk(2000))
+	d1 := r1.Cycles - r0.Cycles
+	d2 := r2.Cycles - r1.Cycles
+	if d1 != d2 || d1 <= 0 {
+		t.Errorf("sync not linear: deltas %d, %d", d1, d2)
+	}
+	maxLat := tp.MaxLatencyBetween(ctxs)
+	if d1 != 1000*maxLat {
+		t.Errorf("sync delta = %d, want 1000 x %d", d1, maxLat)
+	}
+}
+
+// Property: energy is positive on power-capable machines and scales with
+// runtime for a fixed placement.
+func TestEnergyScalesWithRuntime(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	ctxs := placed(t, tp, place.ConCoreHWC, 8)
+	short, _ := Estimate(tp, ctxs, Workload{Name: "e", Phases: []Phase{{WorkCycles: 1e8}}})
+	long, _ := Estimate(tp, ctxs, Workload{Name: "e", Phases: []Phase{{WorkCycles: 1e9}}})
+	if !(0 < short.EnergyJ && short.EnergyJ < long.EnergyJ) {
+		t.Errorf("energy not monotone: %g vs %g", short.EnergyJ, long.EnergyJ)
+	}
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// line builds a path graph 0-1-2-...-n-1 (undirected: both directions).
+func line(n int) *Graph {
+	g := &Graph{N: n, Offs: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			g.Adj = append(g.Adj, int32(v-1))
+		}
+		if v < n-1 {
+			g.Adj = append(g.Adj, int32(v+1))
+		}
+		g.Offs[v+1] = int32(len(g.Adj))
+	}
+	return g
+}
+
+func TestGenPowerLawValid(t *testing.T) {
+	g := GenPowerLaw(5000, 8, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 5000 {
+		t.Errorf("N = %d", g.N)
+	}
+	avg := float64(g.NumEdges()) / float64(g.N)
+	if avg < 6 || avg > 10 {
+		t.Errorf("average degree = %.1f, want ~8", avg)
+	}
+	// Hubs: first nodes must have clearly above-average degree.
+	hubAvg := 0.0
+	for v := 0; v < 50; v++ {
+		hubAvg += float64(g.Degree(v))
+	}
+	hubAvg /= 50
+	if hubAvg < 2*avg {
+		t.Errorf("hub average degree %.1f not above 2x overall %.1f", hubAvg, avg)
+	}
+	// Determinism.
+	g2 := GenPowerLaw(5000, 8, 42)
+	if g2.NumEdges() != g.NumEdges() || g2.Adj[123] != g.Adj[123] {
+		t.Error("generator not deterministic")
+	}
+	g3 := GenPowerLaw(5000, 8, 43)
+	if g3.NumEdges() == g.NumEdges() && g3.Adj[123] == g.Adj[123] && g3.Adj[777] == g.Adj[777] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	// On a symmetric ring every node must end up with rank 1/n.
+	n := 64
+	g := &Graph{N: n, Offs: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		g.Adj = append(g.Adj, int32((v+1)%n), int32((v+n-1)%n))
+		g.Offs[v+1] = int32(len(g.Adj))
+	}
+	ranks := PageRank(g, 30, 0.85, 4)
+	for v, r := range ranks {
+		if math.Abs(r-1.0/float64(n)) > 1e-9 {
+			t.Fatalf("rank[%d] = %g, want %g", v, r, 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := GenPowerLaw(2000, 6, 7)
+	ranks := PageRank(g, 20, 0.85, 8)
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	// Dangling nodes leak a little mass; the sum stays near 1.
+	if sum < 0.5 || sum > 1.01 {
+		t.Errorf("rank sum = %g", sum)
+	}
+	// Hubs should outrank the median node.
+	if ranks[0] <= ranks[1500] {
+		t.Errorf("hub rank %g <= tail rank %g", ranks[0], ranks[1500])
+	}
+}
+
+func TestPageRankWorkerInvariance(t *testing.T) {
+	g := GenPowerLaw(1000, 5, 3)
+	r1 := PageRank(g, 10, 0.85, 1)
+	r8 := PageRank(g, 10, 0.85, 8)
+	for v := range r1 {
+		if math.Abs(r1[v]-r8[v]) > 1e-12 {
+			t.Fatalf("rank[%d] differs by worker count: %g vs %g", v, r1[v], r8[v])
+		}
+	}
+}
+
+func TestHopDistanceLine(t *testing.T) {
+	g := line(10)
+	d := HopDistance(g, 0, 4)
+	for v := 0; v < 10; v++ {
+		if d[v] != int32(v) {
+			t.Errorf("dist[%d] = %d, want %d", v, d[v], v)
+		}
+	}
+	// Unreachable nodes stay -1.
+	iso := &Graph{N: 3, Offs: []int32{0, 1, 2, 2}, Adj: []int32{1, 0}}
+	d = HopDistance(iso, 0, 2)
+	if d[2] != -1 {
+		t.Errorf("isolated node dist = %d, want -1", d[2])
+	}
+	// Bad source.
+	d = HopDistance(g, -1, 2)
+	for _, v := range d {
+		if v != -1 {
+			t.Error("bad source should leave all -1")
+		}
+	}
+}
+
+func TestHopDistanceWorkerInvariance(t *testing.T) {
+	g := GenPowerLaw(3000, 6, 11)
+	d1 := HopDistance(g, 0, 1)
+	d8 := HopDistance(g, 0, 8)
+	for v := range d1 {
+		if d1[v] != d8[v] {
+			t.Fatalf("dist[%d]: %d vs %d", v, d1[v], d8[v])
+		}
+	}
+}
+
+func TestCommunitiesTwoCliques(t *testing.T) {
+	// Two 5-cliques joined by one edge: labels must collapse within each
+	// clique.
+	n := 10
+	g := &Graph{N: n, Offs: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		base, end := 0, 5
+		if v >= 5 {
+			base, end = 5, 10
+		}
+		for u := base; u < end; u++ {
+			if u != v {
+				g.Adj = append(g.Adj, int32(u))
+			}
+		}
+		if v == 4 {
+			g.Adj = append(g.Adj, 5)
+		}
+		if v == 5 {
+			g.Adj = append(g.Adj, 4)
+		}
+		g.Offs[v+1] = int32(len(g.Adj))
+	}
+	labels := Communities(g, 10, 4)
+	for v := 1; v < 5; v++ {
+		if labels[v] != labels[0] {
+			t.Errorf("clique 1 not uniform: labels[%d]=%d vs %d", v, labels[v], labels[0])
+		}
+	}
+	for v := 6; v < 10; v++ {
+		if labels[v] != labels[5] {
+			t.Errorf("clique 2 not uniform: labels[%d]=%d vs %d", v, labels[v], labels[5])
+		}
+	}
+}
+
+func TestPotentialFriendsTriangleFree(t *testing.T) {
+	// Path 0-1-2: node 0's only 2-hop non-neighbour is 2.
+	g := line(3)
+	pf := PotentialFriends(g, 100, 2)
+	if pf[0] != 1 || pf[2] != 1 {
+		t.Errorf("pf = %v, want ends = 1", pf)
+	}
+	if pf[1] != 0 {
+		t.Errorf("middle node pf = %d, want 0 (knows everyone)", pf[1])
+	}
+}
+
+func TestPotentialFriendsCap(t *testing.T) {
+	g := GenPowerLaw(2000, 10, 5)
+	pf := PotentialFriends(g, 50, 8)
+	for v, c := range pf {
+		if c > 50 {
+			t.Fatalf("node %d exceeds cap: %d", v, c)
+		}
+	}
+}
+
+func TestRandDegreeSampling(t *testing.T) {
+	g := GenPowerLaw(5000, 8, 21)
+	s := RandDegreeSampling(g, 20000, 9, 8)
+	if len(s) != 20000 {
+		t.Fatalf("samples = %d", len(s))
+	}
+	// Determinism across worker counts.
+	s1 := RandDegreeSampling(g, 20000, 9, 1)
+	for i := range s {
+		if s[i] != s1[i] {
+			t.Fatal("sampling not worker-invariant")
+		}
+	}
+	// Degree bias: hubs (low ids, preferential targets) must be sampled
+	// far more often than uniform.
+	hubHits := 0
+	for _, v := range s {
+		if int(v) < 250 { // top 5% of ids
+			hubHits++
+		}
+	}
+	if frac := float64(hubHits) / float64(len(s)); frac < 0.10 {
+		t.Errorf("hub sample fraction = %.3f, want > 0.10 (degree bias)", frac)
+	}
+	// Empty graph.
+	empty := &Graph{N: 2, Offs: []int32{0, 0, 0}}
+	if out := RandDegreeSampling(empty, 5, 1, 2); len(out) != 5 {
+		t.Error("empty graph sampling should still return the requested count")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := line(5)
+	g.Adj[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Error("invalid edge target should fail")
+	}
+	g = line(5)
+	g.Offs[2] = 100
+	if err := g.Validate(); err == nil {
+		t.Error("corrupt offsets should fail")
+	}
+}
+
+// Property: generated graphs always validate.
+func TestGenAlwaysValid(t *testing.T) {
+	f := func(seed uint64, n uint16, deg uint8) bool {
+		g := GenPowerLaw(int(n%3000)+1, int(deg%12)+1, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+//go:build linux && (amd64 || arm64)
+
+package machine
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// setAffinity binds the calling OS thread to the given CPU using
+// sched_setaffinity(2) (syscall number sysSchedSetaffinityNR, selected per
+// architecture). Errors are ignored: affinity is best-effort (containers
+// often restrict it), and the host backend is explicitly a demonstrator.
+func setAffinity(cpu int) {
+	var mask [16]uint64 // up to 1024 CPUs
+	if cpu < 0 || cpu >= len(mask)*64 {
+		return
+	}
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, _ = syscall.RawSyscall(sysSchedSetaffinityNR,
+		0, // 0 = calling thread
+		uintptr(len(mask)*8),
+		uintptr(unsafe.Pointer(&mask[0])))
+}

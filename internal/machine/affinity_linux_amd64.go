@@ -1,0 +1,5 @@
+//go:build linux && amd64
+
+package machine
+
+const sysSchedSetaffinityNR = 203

@@ -1,0 +1,7 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package machine
+
+// setAffinity is a no-op on platforms without a wired-up affinity syscall;
+// threads still run OS-locked, they just float across CPUs.
+func setAffinity(cpu int) { _ = cpu }

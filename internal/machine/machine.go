@@ -1,0 +1,107 @@
+// Package machine defines the narrow interface between MCTOP-ALG and the
+// hardware it measures.
+//
+// The paper stresses that the inference algorithm needs only three things
+// from the underlying OS: the number of hardware contexts, the number of
+// memory nodes, and a way to pin threads to contexts (Section 3). This
+// package captures that contract — plus the raw measurement primitives
+// (timestamp reads, CAS on a shared line, calibrated spin loops) — so the
+// exact same algorithm code runs against the deterministic simulator
+// (internal/sim) and, best-effort, against the real host.
+package machine
+
+// Thread is a software thread pinned to one hardware context. All
+// measurement primitives of Figure 5 are expressed through it.
+type Thread interface {
+	// Ctx returns the hardware context the thread is pinned to.
+	Ctx() int
+	// Pin migrates the thread to another hardware context.
+	Pin(ctx int) error
+	// Rdtsc reads the timestamp counter. Reading has non-negligible cost
+	// which callers must estimate and deduct (Section 3.5).
+	Rdtsc() int64
+	// CAS performs an atomic compare-and-swap on the given shared cache
+	// line, bringing it into the Modified state.
+	CAS(line uint64)
+	// Load reads the given shared cache line.
+	Load(line uint64)
+	// Store writes the given shared cache line.
+	Store(line uint64)
+	// SpinWork busy-spins for approximately the given amount of work.
+	SpinWork(units int64)
+}
+
+// Machine is what MCTOP-ALG requires from the platform it runs on.
+type Machine interface {
+	// Name identifies the machine (platform name or host description).
+	Name() string
+	// NumHWContexts is the number of schedulable hardware contexts.
+	NumHWContexts() int
+	// NumNodes is the number of memory nodes the OS reports.
+	NumNodes() int
+	// NewThread creates a thread pinned to the given context.
+	NewThread(ctx int) (Thread, error)
+	// Barrier synchronizes the given threads at a spin rendezvous (the
+	// thread_barrier() of Figure 5).
+	Barrier(ts ...Thread)
+	// SpinSolo runs a calibrated spin loop on t alone and returns the
+	// duration observed through the timestamp counter.
+	SpinSolo(t Thread, units int64) int64
+	// SpinTogether runs the calibrated loop on both threads concurrently
+	// and returns both observed durations (the SMT detector's probe).
+	SpinTogether(t1, t2 Thread, units int64) (int64, int64)
+	// OSView returns the topology the operating system believes in, used
+	// only for the optional MCTOP-vs-OS comparison of Section 3.6 — never
+	// by the inference itself.
+	OSView() OSView
+}
+
+// OSView is the operating system's description of the machine: the
+// information libnuma/hwloc-style libraries would return. It may be wrong
+// (the paper's Opteron reports an incorrect core-to-node mapping,
+// footnote 1); MCTOP-ALG never consumes it.
+type OSView struct {
+	Contexts     int
+	Nodes        int
+	CoreOfCtx    []int // context -> OS core id
+	SocketOfCtx  []int // context -> OS socket id
+	NodeOfSocket []int // socket -> OS-claimed local memory node
+}
+
+// MemoryProber is the optional extension used by the memory latency,
+// memory bandwidth and cache plugins (Section 4). The simulator implements
+// it; a host backend may not.
+type MemoryProber interface {
+	// MemRandomAccess performs n dependent cache-missing loads against the
+	// given node from thread t and returns the consumed cycles.
+	MemRandomAccess(t Thread, node, n int) int64
+	// MemSequentialSweep streams bytes from the node and returns cycles.
+	MemSequentialSweep(t Thread, node int, bytes int64) int64
+	// CacheWorkingSetLoads performs n dependent loads within a working set
+	// of the given size and returns the consumed cycles.
+	CacheWorkingSetLoads(t Thread, workingSet int64, n int) int64
+	// StreamBandwidth reports the aggregate bandwidth (GB/s) achieved by
+	// the given contexts streaming from the node concurrently.
+	StreamBandwidth(ctxs []int, node int) float64
+	// CacheSizes returns the OS-reported cache sizes (the cache plugin also
+	// "loads and includes the cache sizes from the operating system").
+	CacheSizes() (l1, l2, llc int64)
+}
+
+// PowerProber is the optional extension used by the power plugin
+// (RAPL-style measurements; Intel-only in the paper).
+type PowerProber interface {
+	// PowerAvailable reports whether the machine exposes power counters.
+	PowerAvailable() bool
+	// PowerEstimate returns per-socket package power and the total for a
+	// set of active contexts, optionally including DRAM.
+	PowerEstimate(ctxs []int, withDRAM bool) (perSocket []float64, total float64)
+	// PowerIdle returns the whole-machine idle power.
+	PowerIdle() float64
+}
+
+// FrequencyGHz is implemented by machines that know their nominal maximum
+// frequency, letting tools convert cycles to seconds.
+type FrequencyGHz interface {
+	FreqMaxGHz() float64
+}

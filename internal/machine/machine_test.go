@@ -1,0 +1,184 @@
+package machine
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestSimMachineBasics(t *testing.T) {
+	m, err := NewSim(sim.Ivy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "Ivy" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.NumHWContexts() != 40 || m.NumNodes() != 2 {
+		t.Errorf("dims = %d ctx / %d nodes", m.NumHWContexts(), m.NumNodes())
+	}
+	if m.FreqMaxGHz() != 2.8 {
+		t.Errorf("freq = %g", m.FreqMaxGHz())
+	}
+	if !m.PowerAvailable() {
+		t.Error("Ivy should expose power")
+	}
+	l1, l2, llc := m.CacheSizes()
+	if l1 != 32<<10 || l2 != 256<<10 || llc != 25<<20 {
+		t.Errorf("cache sizes = %d/%d/%d", l1, l2, llc)
+	}
+}
+
+// TestFigure5Protocol drives the paper's lock-step measurement through the
+// generic Machine interface (the path MCTOP-ALG uses) and checks that the
+// medians identify the three latency levels of Ivy.
+func TestFigure5Protocol(t *testing.T) {
+	p := sim.Ivy()
+	p.DVFS = false
+	m, err := NewSim(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := m.NewThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.NewThread(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(yCtx int) int64 {
+		if err := y.Pin(yCtx); err != nil {
+			t.Fatal(err)
+		}
+		const line, reps = 42, 300
+		vals := make([]int64, 0, reps)
+		for i := 0; i < reps; i++ {
+			m.Barrier(x, y)
+			y.CAS(line)
+			m.Barrier(x, y)
+			s := x.Rdtsc()
+			x.CAS(line)
+			e := x.Rdtsc()
+			vals = append(vals, e-s-p.RdtscOverhead)
+		}
+		return stats.Median(vals)
+	}
+	smt := measure(20)
+	intra := measure(1)
+	cross := measure(10)
+	if !(smt < intra && intra < cross) {
+		t.Errorf("levels not ordered: smt=%d intra=%d cross=%d", smt, intra, cross)
+	}
+	if smt < 24 || smt > 32 {
+		t.Errorf("SMT level = %d, want ~28", smt)
+	}
+	if cross < 290 || cross > 325 {
+		t.Errorf("cross level = %d, want ~308", cross)
+	}
+}
+
+func TestSimMachineOSView(t *testing.T) {
+	m, _ := NewSim(sim.Opteron(), 1)
+	v := m.OSView()
+	if v.Contexts != 48 || v.Nodes != 8 {
+		t.Errorf("OS view dims = %d/%d", v.Contexts, v.Nodes)
+	}
+	// The simulated Opteron OS lies about node mapping (footnote 1).
+	if v.NodeOfSocket[0] == 0 {
+		t.Error("Opteron OS node mapping should be wrong")
+	}
+	m2, _ := NewSim(sim.Ivy(), 1)
+	if v2 := m2.OSView(); v2.NodeOfSocket[0] != 0 || v2.NodeOfSocket[1] != 1 {
+		t.Error("Ivy OS node mapping should be identity")
+	}
+}
+
+func TestSimMachineRejectsForeignThread(t *testing.T) {
+	m1, _ := NewSim(sim.Ivy(), 1)
+	host := NewHost()
+	ht, err := host.NewThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic passing a host thread to SimMachine")
+		}
+	}()
+	m1.SpinSolo(ht, 10)
+}
+
+func TestHostMachineBasics(t *testing.T) {
+	m := NewHost()
+	if m.NumHWContexts() < 1 || m.NumNodes() < 1 {
+		t.Fatalf("host dims = %d/%d", m.NumHWContexts(), m.NumNodes())
+	}
+	th, err := m.NewThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.CAS(1)
+	th.Load(1)
+	th.Store(1)
+	th.SpinWork(1000)
+	if ts := th.Rdtsc(); ts <= 0 {
+		t.Error("host Rdtsc returned non-positive timestamp")
+	}
+	if _, err := m.NewThread(-1); err == nil {
+		t.Error("expected error for negative context")
+	}
+	if err := th.Pin(0); err != nil {
+		t.Error(err)
+	}
+	if err := th.Pin(1 << 20); err == nil {
+		t.Error("expected error pinning far out of range")
+	}
+}
+
+func TestHostSpinPrimitives(t *testing.T) {
+	m := NewHost()
+	a, _ := m.NewThread(0)
+	d := m.SpinSolo(a, 200_000)
+	if d <= 0 {
+		t.Errorf("solo spin duration = %d", d)
+	}
+	if m.NumHWContexts() >= 2 {
+		b, _ := m.NewThread(1)
+		d1, d2 := m.SpinTogether(a, b, 200_000)
+		if d1 <= 0 || d2 <= 0 {
+			t.Errorf("together durations = %d/%d", d1, d2)
+		}
+		m.Barrier(a, b)
+	}
+}
+
+func TestHostMeasurePair(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("needs 2 CPUs")
+	}
+	m := NewHost()
+	vals := m.MeasurePair(0, 1, 50)
+	if len(vals) != 50 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	med := stats.Median(vals)
+	if med < 0 {
+		t.Errorf("median latency = %d ns", med)
+	}
+	// Sanity only: a CAS ping-pong between two CPUs should not appear to
+	// take longer than a millisecond even on a noisy CI box.
+	if med > 1_000_000 {
+		t.Errorf("median latency implausibly high: %d ns", med)
+	}
+}
+
+func TestHostOSView(t *testing.T) {
+	m := NewHost()
+	v := m.OSView()
+	if v.Contexts != m.NumHWContexts() || len(v.CoreOfCtx) != v.Contexts {
+		t.Error("host OS view inconsistent")
+	}
+}

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SimMachine adapts a deterministic machine simulator (internal/sim) to the
+// Machine interface. This is the backend every test and experiment in this
+// repository runs against.
+type SimMachine struct {
+	S *sim.Sim
+}
+
+var (
+	_ Machine      = (*SimMachine)(nil)
+	_ MemoryProber = (*SimMachine)(nil)
+	_ PowerProber  = (*SimMachine)(nil)
+	_ FrequencyGHz = (*SimMachine)(nil)
+)
+
+// NewSim creates a simulator-backed machine for the given platform and
+// noise seed.
+func NewSim(p *sim.Platform, seed uint64) (*SimMachine, error) {
+	s, err := sim.New(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SimMachine{S: s}, nil
+}
+
+// Name returns the simulated platform's name.
+func (m *SimMachine) Name() string { return m.S.Platform().Name }
+
+// NumHWContexts returns the simulated context count.
+func (m *SimMachine) NumHWContexts() int { return m.S.Platform().NumContexts() }
+
+// NumNodes returns the simulated memory-node count.
+func (m *SimMachine) NumNodes() int { return m.S.Platform().NumNodes() }
+
+// FreqMaxGHz returns the platform's maximum frequency.
+func (m *SimMachine) FreqMaxGHz() float64 { return m.S.Platform().FreqMaxGHz }
+
+type simThread struct{ t *sim.Thread }
+
+func (t simThread) Ctx() int             { return t.t.Ctx() }
+func (t simThread) Pin(ctx int) error    { return t.t.Pin(ctx) }
+func (t simThread) Rdtsc() int64         { return t.t.Rdtsc() }
+func (t simThread) CAS(line uint64)      { t.t.CAS(line) }
+func (t simThread) Load(line uint64)     { t.t.Load(line) }
+func (t simThread) Store(line uint64)    { t.t.Store(line) }
+func (t simThread) SpinWork(units int64) { t.t.SpinWork(units) }
+
+// NewThread creates a simulated thread pinned to ctx.
+func (m *SimMachine) NewThread(ctx int) (Thread, error) {
+	t, err := m.S.NewThread(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return simThread{t}, nil
+}
+
+func (m *SimMachine) unwrap(t Thread) *sim.Thread {
+	st, ok := t.(simThread)
+	if !ok {
+		panic(fmt.Sprintf("machine: thread %T does not belong to SimMachine", t))
+	}
+	return st.t
+}
+
+// Barrier synchronizes simulated threads.
+func (m *SimMachine) Barrier(ts ...Thread) {
+	raw := make([]*sim.Thread, len(ts))
+	for i, t := range ts {
+		raw[i] = m.unwrap(t)
+	}
+	m.S.Barrier(raw...)
+}
+
+// SpinSolo runs a calibrated spin loop on one simulated thread.
+func (m *SimMachine) SpinSolo(t Thread, units int64) int64 {
+	return m.S.SpinSolo(m.unwrap(t), units)
+}
+
+// SpinTogether runs the calibrated loop on two simulated threads at once.
+func (m *SimMachine) SpinTogether(t1, t2 Thread, units int64) (int64, int64) {
+	return m.S.SpinTogether(m.unwrap(t1), m.unwrap(t2), units)
+}
+
+// OSView reports the simulated operating system's topology view, including
+// the deliberately wrong node mapping on the Opteron.
+func (m *SimMachine) OSView() OSView {
+	p := m.S.Platform()
+	v := OSView{
+		Contexts:     p.NumContexts(),
+		Nodes:        p.NumNodes(),
+		CoreOfCtx:    make([]int, p.NumContexts()),
+		SocketOfCtx:  make([]int, p.NumContexts()),
+		NodeOfSocket: make([]int, p.Sockets),
+	}
+	for c := 0; c < p.NumContexts(); c++ {
+		v.CoreOfCtx[c] = p.CoreOf(c)
+		v.SocketOfCtx[c] = p.SocketOf(c)
+	}
+	for s := 0; s < p.Sockets; s++ {
+		v.NodeOfSocket[s] = p.OSLocalNode(s)
+	}
+	return v
+}
+
+// MemRandomAccess implements MemoryProber.
+func (m *SimMachine) MemRandomAccess(t Thread, node, n int) int64 {
+	return m.unwrap(t).MemRandomAccess(node, n)
+}
+
+// MemSequentialSweep implements MemoryProber.
+func (m *SimMachine) MemSequentialSweep(t Thread, node int, bytes int64) int64 {
+	return m.unwrap(t).MemSequentialSweep(node, bytes)
+}
+
+// CacheWorkingSetLoads implements MemoryProber.
+func (m *SimMachine) CacheWorkingSetLoads(t Thread, workingSet int64, n int) int64 {
+	return m.unwrap(t).CacheWorkingSetLoads(workingSet, n)
+}
+
+// StreamBandwidth implements MemoryProber.
+func (m *SimMachine) StreamBandwidth(ctxs []int, node int) float64 {
+	return m.S.StreamBandwidth(ctxs, node)
+}
+
+// CacheSizes implements MemoryProber.
+func (m *SimMachine) CacheSizes() (l1, l2, llc int64) {
+	p := m.S.Platform()
+	return p.L1Size, p.L2Size, p.LLCSize
+}
+
+// PowerAvailable implements PowerProber.
+func (m *SimMachine) PowerAvailable() bool { return m.S.Platform().Power.Available() }
+
+// PowerEstimate implements PowerProber.
+func (m *SimMachine) PowerEstimate(ctxs []int, withDRAM bool) ([]float64, float64) {
+	return m.S.Platform().PowerEstimate(ctxs, withDRAM)
+}
+
+// PowerIdle implements PowerProber.
+func (m *SimMachine) PowerIdle() float64 { return m.S.Platform().Power.IdleMachine }

@@ -1,0 +1,103 @@
+//go:build linux
+
+package machine
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// sysfs topology parsing: on Linux the OS view of the host machine comes
+// from /sys/devices/system/cpu/cpuN/topology/{core_id,
+// physical_package_id} and /sys/devices/system/node/nodeN/cpulist. This is
+// exactly the information libnuma/hwloc would expose — the view MCTOP-ALG
+// deliberately does not rely on, but which the Section 3.6 comparison
+// checks against.
+
+func readIntFile(path string) (int, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseCPUList expands "0-3,8,10-11" into ids.
+func parseCPUList(s string) []int {
+	var out []int
+	for _, part := range strings.Split(strings.TrimSpace(s), ",") {
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+		} else if v, err := strconv.Atoi(part); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// hostOSView reads the kernel's topology; ok is false when sysfs is
+// unavailable (containers often hide it), in which case callers fall back
+// to the flat view.
+func hostOSView(nctx, nodes int) (OSView, bool) {
+	v := OSView{
+		Contexts:     nctx,
+		Nodes:        nodes,
+		CoreOfCtx:    make([]int, nctx),
+		SocketOfCtx:  make([]int, nctx),
+		NodeOfSocket: make([]int, nodes),
+	}
+	found := false
+	// Distinct (package, core) pairs become global core ids.
+	coreID := map[[2]int]int{}
+	for c := 0; c < nctx; c++ {
+		base := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/topology", c)
+		pkg, ok1 := readIntFile(base + "/physical_package_id")
+		core, ok2 := readIntFile(base + "/core_id")
+		if !ok1 || !ok2 {
+			v.CoreOfCtx[c] = c
+			v.SocketOfCtx[c] = 0
+			continue
+		}
+		found = true
+		key := [2]int{pkg, core}
+		id, seen := coreID[key]
+		if !seen {
+			id = len(coreID)
+			coreID[key] = id
+		}
+		v.CoreOfCtx[c] = id
+		v.SocketOfCtx[c] = pkg
+	}
+	// Socket-to-node: a node is local to the socket of the CPUs it lists.
+	for n := 0; n < nodes; n++ {
+		data, err := os.ReadFile(fmt.Sprintf("/sys/devices/system/node/node%d/cpulist", n))
+		if err != nil {
+			continue
+		}
+		cpus := parseCPUList(string(data))
+		if len(cpus) == 0 || cpus[0] >= nctx {
+			continue
+		}
+		sock := v.SocketOfCtx[cpus[0]]
+		if sock >= 0 && sock < nodes {
+			v.NodeOfSocket[sock] = n
+		}
+	}
+	return v, found
+}

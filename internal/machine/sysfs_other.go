@@ -1,0 +1,8 @@
+//go:build !linux
+
+package machine
+
+// hostOSView is unavailable off Linux; the flat fallback is used.
+func hostOSView(nctx, nodes int) (OSView, bool) {
+	return OSView{}, false
+}

@@ -1,0 +1,255 @@
+package mapreduce
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/place"
+)
+
+// The four Metis workloads the paper evaluates in Figure 10: K-Means,
+// Mean, Word Count and Matrix Multiply — real implementations over the
+// MapReduce engine.
+
+// WordCount counts word occurrences across text chunks.
+func WordCount(chunks []string, workers int, pl placementArg) (map[string]int, error) {
+	res, err := Run(Job[string, string, int, int]{
+		Inputs: chunks,
+		Map: func(chunk string, emit func(string, int)) {
+			for _, w := range strings.Fields(chunk) {
+				w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
+				if w != "" {
+					emit(w, 1)
+				}
+			}
+		},
+		Reduce: func(_ string, vs []int) int {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return sum
+		},
+		Workers:   workers,
+		Placement: pl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Out, nil
+}
+
+// Point is a 2-D sample for K-Means.
+type Point struct{ X, Y float64 }
+
+type kmAccum struct {
+	sx, sy float64
+	n      int
+}
+
+// KMeans clusters points around k centroids, iterating MapReduce rounds
+// until assignment stabilizes or maxIters passes. Returns the centroids.
+func KMeans(points []Point, k, maxIters, workers int, pl placementArg) ([]Point, int, error) {
+	if k < 1 {
+		k = 1
+	}
+	centroids := make([]Point, k)
+	copy(centroids, points) // deterministic init: first k points
+	split := splitPoints(points, workers*4)
+
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		cs := centroids
+		res, err := Run(Job[[]Point, int, kmAccum, kmAccum]{
+			Inputs: split,
+			Map: func(ps []Point, emit func(int, kmAccum)) {
+				// Local combining: one accumulator per centroid per split.
+				acc := make([]kmAccum, len(cs))
+				for _, p := range ps {
+					best, bestD := 0, math.MaxFloat64
+					for ci, c := range cs {
+						d := (p.X-c.X)*(p.X-c.X) + (p.Y-c.Y)*(p.Y-c.Y)
+						if d < bestD {
+							best, bestD = ci, d
+						}
+					}
+					acc[best].sx += p.X
+					acc[best].sy += p.Y
+					acc[best].n++
+				}
+				for ci, a := range acc {
+					if a.n > 0 {
+						emit(ci, a)
+					}
+				}
+			},
+			Reduce: func(_ int, vs []kmAccum) kmAccum {
+				var t kmAccum
+				for _, v := range vs {
+					t.sx += v.sx
+					t.sy += v.sy
+					t.n += v.n
+				}
+				return t
+			},
+			Workers:   workers,
+			Placement: pl,
+		})
+		if err != nil {
+			return nil, iters, err
+		}
+		next := make([]Point, k)
+		copy(next, centroids)
+		moved := 0.0
+		for ci, a := range res.Out {
+			if a.n == 0 {
+				continue
+			}
+			nc := Point{a.sx / float64(a.n), a.sy / float64(a.n)}
+			moved += math.Abs(nc.X-centroids[ci].X) + math.Abs(nc.Y-centroids[ci].Y)
+			next[ci] = nc
+		}
+		centroids = next
+		if moved < 1e-9 {
+			iters++
+			break
+		}
+	}
+	return centroids, iters, nil
+}
+
+// Mean computes per-column means of a row-major matrix.
+func Mean(rows [][]float64, workers int, pl placementArg) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	cols := len(rows[0])
+	type acc struct {
+		sum float64
+		n   int
+	}
+	res, err := Run(Job[[][]float64, int, acc, acc]{
+		Inputs: splitRows(rows, workers*4),
+		Map: func(part [][]float64, emit func(int, acc)) {
+			sums := make([]acc, cols)
+			for _, row := range part {
+				for c, v := range row {
+					sums[c].sum += v
+					sums[c].n++
+				}
+			}
+			for c, a := range sums {
+				if a.n > 0 {
+					emit(c, a)
+				}
+			}
+		},
+		Reduce: func(_ int, vs []acc) acc {
+			var t acc
+			for _, v := range vs {
+				t.sum += v.sum
+				t.n += v.n
+			}
+			return t
+		},
+		Workers:   workers,
+		Placement: pl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, cols)
+	for c, a := range res.Out {
+		if a.n > 0 {
+			out[c] = a.sum / float64(a.n)
+		}
+	}
+	return out, nil
+}
+
+// MatrixMult multiplies square row-major matrices (C = A x B) with map
+// tasks over row blocks; Reduce stitches the blocks.
+func MatrixMult(a, b [][]float64, workers int, pl placementArg) ([][]float64, error) {
+	n := len(a)
+	type rowBlock struct {
+		lo, hi int
+	}
+	var blocks []rowBlock
+	blockRows := n/(workers*2) + 1
+	for lo := 0; lo < n; lo += blockRows {
+		hi := lo + blockRows
+		if hi > n {
+			hi = n
+		}
+		blocks = append(blocks, rowBlock{lo, hi})
+	}
+	type rowsOut struct {
+		lo   int
+		rows [][]float64
+	}
+	res, err := Run(Job[rowBlock, int, rowsOut, rowsOut]{
+		Inputs: blocks,
+		Map: func(bl rowBlock, emit func(int, rowsOut)) {
+			out := make([][]float64, bl.hi-bl.lo)
+			for i := bl.lo; i < bl.hi; i++ {
+				row := make([]float64, n)
+				for k := 0; k < n; k++ {
+					aik := a[i][k]
+					if aik == 0 {
+						continue
+					}
+					bk := b[k]
+					for j := 0; j < n; j++ {
+						row[j] += aik * bk[j]
+					}
+				}
+				out[i-bl.lo] = row
+			}
+			emit(bl.lo, rowsOut{bl.lo, out})
+		},
+		Reduce:    func(_ int, vs []rowsOut) rowsOut { return vs[0] },
+		Workers:   workers,
+		Placement: pl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := make([][]float64, n)
+	for _, blk := range res.Out {
+		copy(c[blk.lo:], blk.rows)
+	}
+	return c, nil
+}
+
+// placementArg keeps workload signatures readable.
+type placementArg = *place.Placement
+
+func splitPoints(points []Point, parts int) [][]Point {
+	if parts < 1 {
+		parts = 1
+	}
+	var out [][]Point
+	for i := 0; i < parts; i++ {
+		lo := i * len(points) / parts
+		hi := (i + 1) * len(points) / parts
+		if lo < hi {
+			out = append(out, points[lo:hi])
+		}
+	}
+	return out
+}
+
+func splitRows(rows [][]float64, parts int) [][][]float64 {
+	if parts < 1 {
+		parts = 1
+	}
+	var out [][][]float64
+	for i := 0; i < parts; i++ {
+		lo := i * len(rows) / parts
+		hi := (i + 1) * len(rows) / parts
+		if lo < hi {
+			out = append(out, rows[lo:hi])
+		}
+	}
+	return out
+}

@@ -1,0 +1,664 @@
+// Package mctopalg implements MCTOP-ALG, the topology-inference algorithm
+// of the MCTOP paper (Section 3).
+//
+// MCTOP-ALG infers the topology of a cache-coherent machine from nothing
+// but communication-latency measurements, exploiting two observations:
+// cache-coherence protocols are deterministic in the absence of contention,
+// and communication latencies characterize the topology. It needs only
+// three things from the OS — the number of hardware contexts, the number of
+// memory nodes, and thread pinning — which is exactly the machine.Machine
+// interface this package is written against. The same code infers simulated
+// platforms (internal/sim) and, best-effort, the real host.
+//
+// The four steps (Figure 6):
+//
+//  1. collect a context-to-context latency table with two lock-step
+//     threads (Figure 5);
+//  2. cluster the values (the CDF's plateaus) and normalize the table;
+//  3. recursively group contexts into components per latency level;
+//  4. assign roles (cores, sockets, cross-socket levels) to components.
+package mctopalg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Options tunes the inference. The defaults match the paper's Section 3.5.
+type Options struct {
+	// Reps is the number of repetitions per context pair (n = 2000).
+	Reps int
+	// StdevThreshold is the acceptable stdev as a fraction of the median
+	// (0.07); on a retry it grows up to StdevThresholdMax (0.14).
+	StdevThreshold    float64
+	StdevThresholdMax float64
+	// MaxRetries bounds per-pair re-measurement.
+	MaxRetries int
+	// Cluster configures latency clustering (step 2).
+	Cluster stats.ClusterOptions
+	// SpinUnit is the calibrated spin-loop length (cycles) used by the
+	// DVFS wait and the SMT detector.
+	SpinUnit int64
+	// SkipMemoryProbe disables the local-node assignment probe even when
+	// the machine supports it (sockets then map to nodes by index).
+	SkipMemoryProbe bool
+}
+
+// DefaultOptions returns the paper's default parameters.
+func DefaultOptions() Options {
+	return Options{
+		Reps:              2000,
+		StdevThreshold:    0.07,
+		StdevThresholdMax: 0.14,
+		MaxRetries:        3,
+		Cluster:           stats.ClusterOptions{RelGap: 0.04, AbsGap: 10},
+		SpinUnit:          1_000_000,
+	}
+}
+
+func (o *Options) fillDefaults() {
+	d := DefaultOptions()
+	if o.Reps <= 0 {
+		o.Reps = d.Reps
+	}
+	if o.StdevThreshold <= 0 {
+		o.StdevThreshold = d.StdevThreshold
+	}
+	if o.StdevThresholdMax < o.StdevThreshold {
+		o.StdevThresholdMax = 2 * o.StdevThreshold
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = d.MaxRetries
+	}
+	if o.Cluster.RelGap <= 0 {
+		o.Cluster = d.Cluster
+	}
+	if o.SpinUnit <= 0 {
+		o.SpinUnit = d.SpinUnit
+	}
+}
+
+// Result carries the inferred topology plus the intermediate artifacts of
+// every algorithm step, so tools can render Figure 6.
+type Result struct {
+	Topology *topo.Topology
+
+	// RawTable is the N x N median latency table (step 1).
+	RawTable [][]int64
+	// Clusters are the detected latency clusters, ascending (step 2).
+	Clusters []stats.Triplet
+	// NormTable is the normalized latency table (step 2).
+	NormTable [][]int64
+	// LevelGroups[l] is the context partition of grouping level l (step 3).
+	LevelGroups [][][]int
+
+	// SMT reports whether simultaneous multi-threading was detected, and
+	// SMTWays the contexts per core.
+	SMT     bool
+	SMTWays int
+
+	// RdtscOverhead is the estimated cost of one timestamp read.
+	RdtscOverhead int64
+	// Pairs is the number of context pairs measured; Retries counts
+	// re-measurements due to unstable stdev.
+	Pairs   int
+	Retries int
+	// Cycles is the total virtual/real cycles consumed by the measuring
+	// thread — the inference cost reported in Section 3.5.
+	Cycles int64
+}
+
+// ErrClustering is wrapped by all step-2/3/4 failures: the cases where
+// libmctop "is not able to infer the topology, an error message is printed
+// and the user must retry" (Section 3.5).
+var ErrClustering = errors.New("mctopalg: unable to infer topology from latency clusters")
+
+func clusterErr(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrClustering, fmt.Sprintf(format, args...))
+}
+
+// Infer runs MCTOP-ALG on a machine.
+func Infer(m machine.Machine, opt Options) (*Result, error) {
+	opt.fillDefaults()
+	n := m.NumHWContexts()
+	if n < 2 {
+		return nil, fmt.Errorf("mctopalg: machine has %d hardware contexts; need at least 2", n)
+	}
+	nodes := m.NumNodes()
+	if nodes < 1 {
+		return nil, fmt.Errorf("mctopalg: machine reports %d nodes", nodes)
+	}
+
+	res := &Result{}
+
+	// Step 1: latency table.
+	if err := collectTable(m, &opt, res); err != nil {
+		return nil, err
+	}
+
+	// Step 2: cluster and normalize.
+	var offDiag []int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			offDiag = append(offDiag, res.RawTable[i][j])
+		}
+	}
+	res.Clusters = stats.Cluster(offDiag, opt.Cluster)
+	if len(res.Clusters) == 0 {
+		return nil, clusterErr("no latency clusters")
+	}
+	res.NormTable = stats.Normalize(res.RawTable, res.Clusters)
+
+	// Step 3: component creation.
+	levels, sockGroups, sockTable, err := buildComponents(res.NormTable, res.Clusters, n, nodes)
+	if err != nil {
+		return nil, err
+	}
+	res.LevelGroups = levels
+
+	// Step 4: role assignment.
+	spec, err := assignRoles(m, &opt, res, levels, sockGroups, sockTable, nodes)
+	if err != nil {
+		return nil, err
+	}
+	t, err := topo.FromSpec(*spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: inferred spec rejected: %v", ErrClustering, err)
+	}
+	res.Topology = t
+	return res, nil
+}
+
+// collectTable fills res.RawTable using the lock-step protocol of Figure 5.
+func collectTable(m machine.Machine, opt *Options, res *Result) error {
+	n := m.NumHWContexts()
+	res.RawTable = make([][]int64, n)
+	for i := range res.RawTable {
+		res.RawTable[i] = make([]int64, n)
+	}
+
+	x, err := m.NewThread(0)
+	if err != nil {
+		return err
+	}
+	y, err := m.NewThread(1)
+	if err != nil {
+		return err
+	}
+	start := x.Rdtsc()
+
+	dvfsWait(m, opt, x)
+	res.RdtscOverhead = estimateRdtscOverhead(x)
+
+	fast, _ := m.(machine.PairMeasurer)
+
+	for xi := 0; xi < n-1; xi++ {
+		if err := x.Pin(xi); err != nil {
+			return err
+		}
+		dvfsWait(m, opt, x)
+		for yi := xi + 1; yi < n; yi++ {
+			if err := y.Pin(yi); err != nil {
+				return err
+			}
+			dvfsWait(m, opt, y)
+			var med int64
+			if fast != nil {
+				vals := fast.MeasurePair(xi, yi, opt.Reps)
+				med = acceptOrRetryRaw(vals, opt, res, func() []int64 {
+					return fast.MeasurePair(xi, yi, opt.Reps)
+				})
+			} else {
+				med = measurePair(m, opt, res, x, y)
+			}
+			res.RawTable[xi][yi] = med
+			res.RawTable[yi][xi] = med
+			res.Pairs++
+		}
+	}
+	res.Cycles = x.Rdtsc() - start
+	return nil
+}
+
+// dvfsWait spins until consecutive calibrated loops take the same time,
+// i.e. the core reached its maximum frequency (Section 3.5: "libmctop
+// explicitly waits for the frequency of both cores to reach its maximum").
+func dvfsWait(m machine.Machine, opt *Options, t machine.Thread) {
+	const maxIters = 64
+	prev := m.SpinSolo(t, opt.SpinUnit)
+	stable := 0
+	for i := 0; i < maxIters; i++ {
+		cur := m.SpinSolo(t, opt.SpinUnit)
+		diff := cur - prev
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 <= prev {
+			stable++
+			if stable >= 2 {
+				return
+			}
+		} else {
+			stable = 0
+		}
+		prev = cur
+	}
+}
+
+// estimateRdtscOverhead measures back-to-back timestamp reads and takes the
+// median.
+func estimateRdtscOverhead(t machine.Thread) int64 {
+	const reps = 101
+	vals := make([]int64, 0, reps)
+	for i := 0; i < reps; i++ {
+		s := t.Rdtsc()
+		e := t.Rdtsc()
+		vals = append(vals, e-s)
+	}
+	return stats.Median(vals)
+}
+
+// measurePair runs the lock-step loop of Figure 5 through the generic
+// thread interface and returns the accepted median.
+func measurePair(m machine.Machine, opt *Options, res *Result, x, y machine.Thread) int64 {
+	const line = 0x6c0c6 // arbitrary shared-line id
+	run := func() []int64 {
+		vals := make([]int64, 0, opt.Reps)
+		for i := 0; i < opt.Reps; i++ {
+			m.Barrier(x, y)
+			y.CAS(line)
+			m.Barrier(x, y)
+			s := x.Rdtsc()
+			x.CAS(line)
+			e := x.Rdtsc()
+			v := e - s - res.RdtscOverhead
+			if v < 0 {
+				v = 0
+			}
+			vals = append(vals, v)
+		}
+		return vals
+	}
+	return acceptOrRetryRaw(run(), opt, res, run)
+}
+
+// acceptOrRetryRaw applies the stability rule of Section 3.5: accept the
+// median if the standard deviation is below the threshold; otherwise
+// re-measure with a widened threshold (7% -> 14% by default).
+func acceptOrRetryRaw(vals []int64, opt *Options, res *Result, again func() []int64) int64 {
+	threshold := opt.StdevThreshold
+	for retry := 0; ; retry++ {
+		med := stats.Median(vals)
+		if med <= 0 {
+			med = 1
+		}
+		if stats.Stdev(vals) <= threshold*float64(med) || retry >= opt.MaxRetries {
+			return med
+		}
+		res.Retries++
+		threshold += (opt.StdevThresholdMax - opt.StdevThreshold) / float64(opt.MaxRetries)
+		if threshold > opt.StdevThresholdMax {
+			threshold = opt.StdevThresholdMax
+		}
+		vals = again()
+	}
+}
+
+// buildComponents implements step 3: starting from singleton components,
+// repeatedly merge components connected at the next latency level, checking
+// the symmetry rules of Section 3.6, until components reach socket size
+// (#contexts / #nodes). Returns the per-level partitions, the socket-level
+// partition and the reduced socket-to-socket latency table.
+func buildComponents(norm [][]int64, clusters []stats.Triplet, n, nodes int) (
+	levels [][][]int, sockGroups [][]int, sockTable [][]int64, err error) {
+
+	if n%nodes != 0 {
+		return nil, nil, nil, clusterErr("%d contexts not divisible by %d nodes", n, nodes)
+	}
+	ctxPerSocket := n / nodes
+	if ctxPerSocket < 2 {
+		return nil, nil, nil, clusterErr("sockets of %d context are not inferable", ctxPerSocket)
+	}
+
+	// components[i] = sorted ctx ids; table = reduced latency table.
+	components := make([][]int, n)
+	for i := range components {
+		components[i] = []int{i}
+	}
+	table := norm
+
+	for li := 0; li < len(clusters); li++ {
+		if len(components[0]) == ctxPerSocket {
+			break // socket level reached; remaining clusters are cross levels
+		}
+		if len(components[0]) > ctxPerSocket {
+			return nil, nil, nil, clusterErr(
+				"components grew to %d contexts, past socket size %d", len(components[0]), ctxPerSocket)
+		}
+		lat := clusters[li].Median
+		groups, reduced, gerr := groupAtLatency(components, table, lat)
+		if gerr != nil {
+			return nil, nil, nil, gerr
+		}
+		components = groups
+		table = reduced
+		// Record this level's partition.
+		part := make([][]int, len(components))
+		for i, c := range components {
+			part[i] = append([]int(nil), c...)
+		}
+		levels = append(levels, part)
+	}
+
+	if len(components[0]) != ctxPerSocket {
+		return nil, nil, nil, clusterErr(
+			"no level yields socket-sized components (%d contexts per node); got %d",
+			ctxPerSocket, len(components[0]))
+	}
+	return levels, components, table, nil
+}
+
+// groupAtLatency merges components communicating at exactly lat and reduces
+// the table, enforcing: every component joins exactly one group, groups are
+// uniform in size, groups are internally complete at lat, and members of a
+// group have identical latencies to every other group.
+func groupAtLatency(components [][]int, table [][]int64, lat int64) ([][]int, [][]int64, error) {
+	k := len(components)
+	// Union-find over components connected at lat.
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if table[i][j] == lat {
+				union(i, j)
+			}
+		}
+	}
+	groupsByRoot := make(map[int][]int)
+	for i := 0; i < k; i++ {
+		r := find(i)
+		groupsByRoot[r] = append(groupsByRoot[r], i)
+	}
+	var memberSets [][]int
+	for _, members := range groupsByRoot {
+		memberSets = append(memberSets, members)
+	}
+	sort.Slice(memberSets, func(a, b int) bool { return memberSets[a][0] < memberSets[b][0] })
+
+	size := len(memberSets[0])
+	if size == 1 {
+		return nil, nil, clusterErr("latency level %d groups nothing", lat)
+	}
+	for _, ms := range memberSets {
+		if len(ms) != size {
+			return nil, nil, clusterErr(
+				"latency level %d produces groups of size %d and %d", lat, size, len(ms))
+		}
+		// Internal completeness: every pair inside the group must be lat.
+		for a := 0; a < len(ms); a++ {
+			for b := a + 1; b < len(ms); b++ {
+				if table[ms[a]][ms[b]] != lat {
+					return nil, nil, clusterErr(
+						"components %d and %d grouped at level %d but communicate at %d",
+						ms[a], ms[b], lat, table[ms[a]][ms[b]])
+				}
+			}
+		}
+	}
+
+	// Reduce the table, verifying external uniformity.
+	g := len(memberSets)
+	reduced := make([][]int64, g)
+	for i := range reduced {
+		reduced[i] = make([]int64, g)
+	}
+	for gi := 0; gi < g; gi++ {
+		for gj := gi + 1; gj < g; gj++ {
+			ref := table[memberSets[gi][0]][memberSets[gj][0]]
+			for _, a := range memberSets[gi] {
+				for _, b := range memberSets[gj] {
+					if table[a][b] != ref {
+						return nil, nil, clusterErr(
+							"group (%d,%d) has non-uniform external latency: %d vs %d",
+							gi, gj, table[a][b], ref)
+					}
+				}
+			}
+			reduced[gi][gj] = ref
+			reduced[gj][gi] = ref
+		}
+	}
+
+	// Merge the context sets.
+	merged := make([][]int, g)
+	for gi, ms := range memberSets {
+		for _, ci := range ms {
+			merged[gi] = append(merged[gi], components[ci]...)
+		}
+		sort.Ints(merged[gi])
+	}
+	return merged, reduced, nil
+}
+
+// assignRoles implements step 4: detect SMT (deciding whether the first
+// level's components are cores), classify the socket level, turn remaining
+// clusters into cross-socket levels, and assign memory nodes to sockets.
+func assignRoles(m machine.Machine, opt *Options, res *Result,
+	levels [][][]int, sockGroups [][]int, sockTable [][]int64, nodes int) (*topo.Spec, error) {
+
+	n := m.NumHWContexts()
+
+	// SMT detection (Section 3.5): run the calibrated loop solo and then on
+	// the two contexts with minimum latency; SMT sharing dilates it.
+	res.SMT = false
+	res.SMTWays = 1
+	if len(levels) > 0 {
+		a, b := minLatencyPair(res.RawTable, n)
+		ta, err := m.NewThread(a)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := m.NewThread(b)
+		if err != nil {
+			return nil, err
+		}
+		dvfsWait(m, opt, ta)
+		dvfsWait(m, opt, tb)
+		solo := m.SpinSolo(ta, opt.SpinUnit)
+		d1, d2 := m.SpinTogether(ta, tb, opt.SpinUnit)
+		together := d1
+		if d2 > together {
+			together = d2
+		}
+		if float64(together) > 1.4*float64(solo) {
+			res.SMT = true
+			res.SMTWays = len(levels[0][0])
+		}
+	}
+
+	// Sort socket groups by smallest member for stable socket ids.
+	ordered := make([][]int, len(sockGroups))
+	copy(ordered, sockGroups)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i][0] < ordered[j][0] })
+
+	// Cluster bookkeeping: which cluster fed which grouping level.
+	nGroupLevels := len(levels)
+	crossClusters := res.Clusters[nGroupLevels:]
+
+	// Permute the reduced socket table to the ordered socket ids.
+	perm := make([]int, len(ordered))
+	for newID, g := range ordered {
+		for oldID, og := range sockGroups {
+			if og[0] == g[0] {
+				perm[newID] = oldID
+				break
+			}
+		}
+	}
+	nS := len(ordered)
+	socketLat := make([][]int64, nS)
+	for i := range socketLat {
+		socketLat[i] = make([]int64, nS)
+		for j := range socketLat[i] {
+			if i == j {
+				continue
+			}
+			socketLat[i][j] = sockTable[perm[i]][perm[j]]
+		}
+	}
+
+	// Validate: every cross latency belongs to a cross cluster.
+	for i := 0; i < nS; i++ {
+		for j := i + 1; j < nS; j++ {
+			found := false
+			for _, c := range crossClusters {
+				if c.Contains(socketLat[i][j]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, clusterErr("socket latency %d not in any cross-socket cluster", socketLat[i][j])
+			}
+		}
+	}
+
+	// Build levels for the spec.
+	var specLevels []topo.Level
+	for li, part := range levels {
+		c := res.Clusters[li]
+		name := fmt.Sprintf("group-%d", li+1)
+		kind := topo.LevelGroup
+		if li == 0 && res.SMT {
+			name = "core"
+		}
+		if li == nGroupLevels-1 {
+			name = "socket"
+			kind = topo.LevelSocket
+		}
+		specLevels = append(specLevels, topo.Level{
+			Name: name, Kind: kind, Min: c.Min, Median: c.Median, Max: c.Max,
+			Groups: part,
+		})
+	}
+	// Socket groups must appear in the ordered arrangement.
+	specLevels[nGroupLevels-1].Groups = ordered
+	for ci, c := range crossClusters {
+		specLevels = append(specLevels, topo.Level{
+			Name: fmt.Sprintf("cross-%d", ci+1), Kind: topo.LevelCross,
+			Min: c.Min, Median: c.Median, Max: c.Max,
+		})
+	}
+	// Intra-socket latency on the diagonal.
+	intra := specLevels[nGroupLevels-1].Median
+	for i := 0; i < nS; i++ {
+		socketLat[i][i] = intra
+	}
+
+	// Node assignment: measure which node each socket reaches fastest —
+	// this is how MCTOP gets the mapping right when the OS has it wrong
+	// (footnote 1). Fall back to identity without a memory prober.
+	nodeOf := make([]int, nS)
+	prober, hasProber := m.(machine.MemoryProber)
+	if hasProber && !opt.SkipMemoryProbe && nodes > 1 {
+		th, err := m.NewThread(0)
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < nS; s++ {
+			if err := th.Pin(ordered[s][0]); err != nil {
+				return nil, err
+			}
+			dvfsWait(m, opt, th)
+			best, bestLat := -1, int64(0)
+			for node := 0; node < nodes; node++ {
+				const probes = 64
+				lat := prober.MemRandomAccess(th, node, probes) / probes
+				if best == -1 || lat < bestLat {
+					best, bestLat = node, lat
+				}
+			}
+			nodeOf[s] = best
+		}
+		if nS == nodes {
+			seen := make([]bool, nodes)
+			for _, nd := range nodeOf {
+				if seen[nd] {
+					return nil, clusterErr("two sockets measured node %d as local", nd)
+				}
+				seen[nd] = true
+			}
+		}
+	} else {
+		if nS != nodes {
+			return nil, clusterErr("%d sockets vs %d nodes and no memory prober to map them", nS, nodes)
+		}
+		for s := range nodeOf {
+			nodeOf[s] = s
+		}
+	}
+
+	spec := &topo.Spec{
+		Name:         m.Name(),
+		Contexts:     n,
+		Nodes:        nodes,
+		SMTWays:      res.SMTWays,
+		Levels:       specLevels,
+		NodeOfSocket: nodeOf,
+		SocketLat:    socketLat,
+	}
+	if f, ok := m.(machine.FrequencyGHz); ok {
+		spec.FreqGHz = f.FreqMaxGHz()
+	}
+	return spec, nil
+}
+
+// CheckStale reports whether a previously inferred topology still matches
+// the machine it was inferred on. libmctop does not track dynamic changes
+// (Section 3.5: "if, after the execution of MCTOP-ALG, SMT is disabled
+// through BIOS, or a hardware context is disabled via the OS, MCTOP-ALG
+// must be re-executed"); this check is how callers find out a re-run is
+// needed. A nil error means the cheap invariants still hold — it is not
+// proof that latencies are unchanged.
+func CheckStale(m machine.Machine, t *topo.Topology) error {
+	if n := m.NumHWContexts(); n != t.NumHWContexts() {
+		return fmt.Errorf("mctopalg: machine now has %d hardware contexts, topology has %d — re-run MCTOP-ALG",
+			n, t.NumHWContexts())
+	}
+	if n := m.NumNodes(); n != t.NumNodes() {
+		return fmt.Errorf("mctopalg: machine now has %d memory nodes, topology has %d — re-run MCTOP-ALG",
+			n, t.NumNodes())
+	}
+	return nil
+}
+
+// minLatencyPair returns the context pair with the smallest non-zero raw
+// latency.
+func minLatencyPair(table [][]int64, n int) (int, int) {
+	ba, bb := 0, 1
+	best := table[0][1]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if table[i][j] < best {
+				best = table[i][j]
+				ba, bb = i, j
+			}
+		}
+	}
+	return ba, bb
+}

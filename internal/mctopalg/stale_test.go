@@ -1,0 +1,45 @@
+package mctopalg
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestCheckStale: a topology inferred on one machine is flagged when the
+// machine's visible resources change (the paper's dynamic-changes
+// limitation: SMT disabled, contexts offlined).
+func TestCheckStale(t *testing.T) {
+	m, err := machine.NewSim(sim.Ivy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Reps = 31
+	res, err := Infer(m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStale(m, res.Topology); err != nil {
+		t.Errorf("fresh topology flagged stale: %v", err)
+	}
+	// "Disable SMT": the machine now exposes half the contexts.
+	smaller := sim.Ivy()
+	smaller.SMT = 1
+	m2, err := machine.NewSim(smaller, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStale(m2, res.Topology); err == nil {
+		t.Error("halved context count should be flagged")
+	}
+	// A machine with a different node count is also stale.
+	other, err := machine.NewSim(sim.Haswell(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStale(other, res.Topology); err == nil {
+		t.Error("different node count should be flagged")
+	}
+}

@@ -1,0 +1,10 @@
+package msort
+
+// Exported kernel entry points for the root package's ablation benchmarks
+// (the kernels themselves are implementation details of the sort).
+
+// MergeScalarForBench runs the scalar two-finger merge.
+func MergeScalarForBench(dst, a, b []int32) { mergeScalar(dst, a, b) }
+
+// MergeBitonicForBench runs the branch-free 8-wide bitonic merge.
+func MergeBitonicForBench(dst, a, b []int32) { mergeBitonic(dst, a, b) }

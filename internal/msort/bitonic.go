@@ -1,0 +1,100 @@
+package msort
+
+// Bitonic 8-wide merge kernel — the SIMD stand-in of Section 7.2.
+//
+// The paper's mctop_sort_sse merges with 128-bit SSE instructions arranged
+// as a bitonic merge network over 8 elements at a time (after Chhugani et
+// al.). Go has no portable intrinsics, so this file implements the exact
+// same network on [8]int32 vectors with branch-free min/max — the compiler
+// can keep the lanes in registers, and the merge loop structure (load 8,
+// bitonic-merge 16, emit low half, carry high half) is identical to the
+// SIMD original.
+
+// minMax is a branch-free compare-exchange.
+func minMax(a, b int32) (int32, int32) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+// bitonicClean8 sorts a bitonic 8-sequence in place (distances 4, 2, 1).
+func bitonicClean8(v *[8]int32) {
+	for _, d := range [...]int{4, 2, 1} {
+		for i := 0; i < 8; i++ {
+			if i%(2*d) < d {
+				v[i], v[i+d] = minMax(v[i], v[i+d])
+			}
+		}
+	}
+}
+
+// merge8 merges two ascending 8-element vectors into an ascending
+// 16-element result, returned as (low half, high half).
+func merge8(a, b [8]int32) (lo, hi [8]int32) {
+	// Concatenating a with reversed b yields a bitonic 16-sequence; the
+	// first butterfly (distance 8) splits it into two bitonic halves with
+	// max(lo) <= min(hi); the cleanup networks sort each half.
+	for i := 0; i < 8; i++ {
+		lo[i], hi[i] = minMax(a[i], b[7-i])
+	}
+	bitonicClean8(&lo)
+	bitonicClean8(&hi)
+	return lo, hi
+}
+
+// mergeBitonic merges sorted a and b into dst (len(dst) = len(a)+len(b))
+// using the 8-wide kernel for the bulk and a scalar drain for the tails.
+func mergeBitonic(dst, a, b []int32) {
+	out := 0
+	ai, bi := 0, 0
+	if len(a) >= 8 && len(b) >= 8 {
+		var carry [8]int32
+		copy(carry[:], a[:8])
+		ai = 8
+		for ai+8 <= len(a) && bi+8 <= len(b) {
+			var next [8]int32
+			// Take the block whose next head is smaller; ties prefer a.
+			if a[ai] <= b[bi] {
+				copy(next[:], a[ai:ai+8])
+				ai += 8
+			} else {
+				copy(next[:], b[bi:bi+8])
+				bi += 8
+			}
+			lo, hi := merge8(carry, next)
+			copy(dst[out:], lo[:])
+			out += 8
+			carry = hi
+		}
+		// The carry holds 8 sorted elements that must still be merged with
+		// both tails; fold it back as a virtual head of the shorter rest.
+		rest := make([]int32, 0, 8+len(a)-ai+len(b)-bi)
+		rest = append(rest, carry[:]...)
+		rest = append(rest, a[ai:]...)
+		// carry and a[ai:] are NOT mutually sorted in general; merge them
+		// scalar first (both are individually sorted).
+		tmp := make([]int32, len(rest))
+		mergeScalar(tmp, carry[:], a[ai:])
+		mergeScalar(dst[out:], tmp, b[bi:])
+		return
+	}
+	mergeScalar(dst[out:], a[ai:], b[bi:])
+}
+
+// mergeScalar is the classic two-finger merge.
+func mergeScalar(dst, a, b []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}

@@ -1,0 +1,176 @@
+// Package omp implements MCTOP MP, the paper's extended OpenMP-style
+// runtime (Section 7.4).
+//
+// GNU libgomp's placement controls are offline (environment variables),
+// inflexible (fixed at initialization) and low-level. MCTOP MP adds what
+// the paper's omp_set_binding_policy provides: choosing MCTOP-PLACE
+// policies at runtime, switching them between parallel regions, and an
+// automatic policy-selection mechanism that tries candidate policies on a
+// small sample of the workload and keeps the best.
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/place"
+	"repro/internal/topo"
+)
+
+// Runtime is an OpenMP-like parallel runtime bound to an MCTOP topology.
+type Runtime struct {
+	topo *topo.Topology
+
+	mu       sync.Mutex
+	pool     *place.Pool
+	nThreads int
+	lastCtxs []int
+}
+
+// New creates a runtime with libgomp's default behaviour: threads are not
+// pinned (the NONE policy) and the team size is the machine's context
+// count.
+func New(t *topo.Topology) (*Runtime, error) {
+	pool, err := place.NewPool(t, place.None, place.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{topo: t, pool: pool, nThreads: t.NumHWContexts()}, nil
+}
+
+// Topology returns the runtime's topology.
+func (r *Runtime) Topology() *topo.Topology { return r.topo }
+
+// SetBindingPolicy is the paper's omp_set_binding_policy: it installs a
+// placement policy (and optional thread/socket limits) that takes effect at
+// the next parallel region. It may be called between regions at any time.
+func (r *Runtime) SetBindingPolicy(p place.Policy, opt place.Options) error {
+	if err := r.pool.Set(p, opt); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.nThreads = r.pool.Current().NThreads()
+	r.mu.Unlock()
+	return nil
+}
+
+// NumThreads returns the team size of the next parallel region.
+func (r *Runtime) NumThreads() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nThreads
+}
+
+// BindingPolicy returns the active policy.
+func (r *Runtime) BindingPolicy() place.Policy { return r.pool.Current().Policy() }
+
+// LastBinding returns the hardware contexts the last parallel region's team
+// was pinned to (-1 entries mean unpinned).
+func (r *Runtime) LastBinding() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.lastCtxs...)
+}
+
+// Parallel runs body on every team member, like "#pragma omp parallel".
+// Each invocation claims contexts from the current placement and releases
+// them at the end of the region.
+func (r *Runtime) Parallel(body func(tid, nThreads, hwctx int)) {
+	pl := r.pool.Current()
+	n := r.NumThreads()
+	ctxs := make([]int, n)
+	for i := range ctxs {
+		ctx, ok := pl.PinNext()
+		if !ok {
+			ctx = -1
+		}
+		ctxs[i] = ctx
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			body(tid, n, ctxs[tid])
+		}(tid)
+	}
+	wg.Wait()
+	for _, c := range ctxs {
+		if c >= 0 {
+			pl.Unpin(c)
+		}
+	}
+	r.mu.Lock()
+	r.lastCtxs = ctxs
+	r.mu.Unlock()
+}
+
+// ParallelFor runs body over [0, n) with static scheduling, like
+// "#pragma omp parallel for schedule(static)".
+func (r *Runtime) ParallelFor(n int, body func(i int)) {
+	r.Parallel(func(tid, nt, _ int) {
+		lo := tid * n / nt
+		hi := (tid + 1) * n / nt
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelForDynamic runs body over [0, n) with dynamic scheduling, like
+// "#pragma omp parallel for schedule(dynamic, chunk)": team members pull
+// chunks from a shared counter, so irregular iterations balance
+// automatically.
+func (r *Runtime) ParallelForDynamic(n, chunk int, body func(i int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	r.Parallel(func(_, _, _ int) {
+		for {
+			lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}
+	})
+}
+
+// AutoSelect implements the paper's proof-of-concept automatic
+// policy-selection: it runs sample() under each candidate policy, measures
+// it, installs the fastest policy and returns it. sample should execute a
+// small representative part of the next region's work (the paper's
+// "pre-processing" overhead is exactly these sample runs).
+func (r *Runtime) AutoSelect(candidates []place.Policy, opt place.Options, sample func()) (place.Policy, error) {
+	if len(candidates) == 0 {
+		return place.None, fmt.Errorf("omp: no candidate policies")
+	}
+	best := candidates[0]
+	bestD := time.Duration(-1)
+	for _, cand := range candidates {
+		if err := r.SetBindingPolicy(cand, opt); err != nil {
+			continue // e.g. POWER on a machine without power data
+		}
+		start := time.Now()
+		sample()
+		d := time.Since(start)
+		if bestD < 0 || d < bestD {
+			bestD = d
+			best = cand
+		}
+	}
+	if bestD < 0 {
+		return place.None, fmt.Errorf("omp: no candidate policy was applicable")
+	}
+	err := r.SetBindingPolicy(best, opt)
+	return best, err
+}

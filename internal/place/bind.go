@@ -1,0 +1,56 @@
+package place
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Bind claims every slot of a placement and creates one machine thread per
+// slot, pinned to its hardware context (unpinned slots get a thread on
+// context 0 that simply is not re-pinned — mirroring the NONE policy).
+// This is the bridge between MCTOP-PLACE's high-level policies and the
+// low-level measurement/execution interface; callers must Release the
+// binding when done.
+func Bind(m machine.Machine, pl *Placement) (*Binding, error) {
+	b := &Binding{pl: pl}
+	for {
+		ctx, ok := pl.PinNext()
+		if !ok {
+			break
+		}
+		target := ctx
+		if target < 0 {
+			target = 0
+		}
+		th, err := m.NewThread(target)
+		if err != nil {
+			b.Release()
+			return nil, fmt.Errorf("place: binding context %d: %w", ctx, err)
+		}
+		b.Threads = append(b.Threads, th)
+		b.ctxs = append(b.ctxs, ctx)
+	}
+	if len(b.Threads) == 0 {
+		return nil, fmt.Errorf("place: placement has no slots to bind")
+	}
+	return b, nil
+}
+
+// Binding is a set of machine threads pinned according to a placement.
+type Binding struct {
+	Threads []machine.Thread
+	pl      *Placement
+	ctxs    []int
+}
+
+// Release returns every claimed slot to the placement.
+func (b *Binding) Release() {
+	for _, c := range b.ctxs {
+		if c >= 0 {
+			b.pl.Unpin(c)
+		}
+	}
+	b.ctxs = nil
+	b.Threads = nil
+}

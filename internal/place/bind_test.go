@@ -1,0 +1,57 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestBindPinsThreads(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	m, err := machine.NewSim(sim.Ivy(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(tp, ConCoreHWC, Options{NThreads: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(m, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Threads) != 6 {
+		t.Fatalf("bound %d threads", len(b.Threads))
+	}
+	want := pl.Contexts()
+	for i, th := range b.Threads {
+		if th.Ctx() != want[i] {
+			t.Errorf("thread %d on ctx %d, want %d", i, th.Ctx(), want[i])
+		}
+	}
+	// The placement is exhausted while bound.
+	if _, ok := pl.PinNext(); ok {
+		t.Error("placement should be fully claimed")
+	}
+	b.Release()
+	if _, ok := pl.PinNext(); !ok {
+		t.Error("release should free slots")
+	}
+}
+
+func TestBindUnpinnedPolicy(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	m, _ := machine.NewSim(sim.Ivy(), 9)
+	pl, _ := New(tp, None, Options{NThreads: 3})
+	b, err := Bind(m, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	if len(b.Threads) != 3 {
+		t.Fatalf("bound %d threads", len(b.Threads))
+	}
+	// Threads exist and can measure even though the policy does not pin.
+	b.Threads[0].SpinWork(100)
+}

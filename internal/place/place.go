@@ -1,0 +1,623 @@
+// Package place implements MCTOP-PLACE, the portable thread-placement
+// library of Section 6 of the MCTOP paper.
+//
+// A Placement maps threads to hardware contexts according to one of the 12
+// high-level policies of Table 2, computed from the enriched MCTOP topology
+// (local memory bandwidths, socket latencies, power model). Placements
+// support pinning a thread to the next available context, unpinning it
+// back, and export the derived information of Figure 7: cores used,
+// bandwidth proportions, estimated maximum power with and without DRAM,
+// maximum latency, and minimum aggregate bandwidth.
+package place
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/topo"
+)
+
+// Policy is one of the 12 placement policies of Table 2.
+type Policy int
+
+const (
+	// None does not pin threads at all.
+	None Policy = iota
+	// Sequential uses the sequential OS numbering.
+	Sequential
+	// ConHWC fills all hardware contexts of the socket with maximum local
+	// memory bandwidth as compactly as possible (both SMT contexts of a
+	// core together), then continues to the next best connected socket.
+	ConHWC
+	// ConCoreHWC fills all unique cores of the socket first, then its
+	// second SMT contexts, before moving to the next socket.
+	ConCoreHWC
+	// ConCore uses all unique cores of all used sockets before using any
+	// second SMT context.
+	ConCore
+	// BalanceHWC is the balanced variant of ConHWC: threads are spread
+	// evenly across sockets instead of filling one before the next.
+	BalanceHWC
+	// BalanceCoreHWC is the balanced variant of ConCoreHWC.
+	BalanceCoreHWC
+	// BalanceCore is the balanced variant of ConCore.
+	BalanceCore
+	// RRCore places threads round-robin over sockets (maximum-bandwidth
+	// sockets first), using unique cores before SMT siblings.
+	RRCore
+	// RRHWC places threads round-robin over sockets using all hardware
+	// contexts of each core together.
+	RRHWC
+	// PowerPolicy places threads so that the estimated maximum power
+	// consumption is minimized (Intel-only in the paper: requires power
+	// measurements).
+	PowerPolicy
+	// RRScale is RRCore, but caps the threads per socket at the number
+	// needed to saturate the bandwidth to its local memory node.
+	RRScale
+)
+
+var policyNames = map[Policy]string{
+	None:           "MCTOP_PLACE_NONE",
+	Sequential:     "MCTOP_PLACE_SEQUENTIAL",
+	ConHWC:         "MCTOP_PLACE_CON_HWC",
+	ConCoreHWC:     "MCTOP_PLACE_CON_CORE_HWC",
+	ConCore:        "MCTOP_PLACE_CON_CORE",
+	BalanceHWC:     "MCTOP_PLACE_BALANCE_HWC",
+	BalanceCoreHWC: "MCTOP_PLACE_BALANCE_CORE_HWC",
+	BalanceCore:    "MCTOP_PLACE_BALANCE_CORE",
+	RRCore:         "MCTOP_PLACE_RR_CORE",
+	RRHWC:          "MCTOP_PLACE_RR_HWC",
+	PowerPolicy:    "MCTOP_PLACE_POWER",
+	RRScale:        "MCTOP_PLACE_RR_SCALE",
+}
+
+func (p Policy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Policies returns all 12 policies of Table 2.
+func Policies() []Policy {
+	return []Policy{None, Sequential, ConHWC, ConCoreHWC, ConCore,
+		BalanceHWC, BalanceCoreHWC, BalanceCore, RRCore, RRHWC, PowerPolicy, RRScale}
+}
+
+// ParsePolicy resolves a policy from its name (with or without the
+// MCTOP_PLACE_ prefix, case-insensitive).
+func ParsePolicy(s string) (Policy, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	for p, n := range policyNames {
+		if u == n || "MCTOP_PLACE_"+u == n {
+			return p, nil
+		}
+	}
+	return None, fmt.Errorf("place: unknown policy %q", s)
+}
+
+// Options tunes a placement. Zero values mean "use everything".
+type Options struct {
+	// NThreads is the number of threads to place (default: all contexts of
+	// the allowed sockets; RRScale may lower it further).
+	NThreads int
+	// NSockets limits how many sockets are used (default: all).
+	NSockets int
+}
+
+// Placement is an immutable thread-to-context mapping plus a mutable
+// pin/unpin cursor. Safe for concurrent use.
+type Placement struct {
+	t      *topo.Topology
+	policy Policy
+	ctxs   []int // assignment order; -1 entries mean "unpinned" (None)
+
+	mu    sync.Mutex
+	taken []bool
+}
+
+// New computes a placement for the policy. It fails for PowerPolicy on
+// machines without power measurements, and when the options are not
+// satisfiable.
+func New(t *topo.Topology, policy Policy, opt Options) (*Placement, error) {
+	if opt.NSockets < 0 || opt.NThreads < 0 {
+		return nil, fmt.Errorf("place: negative options %+v", opt)
+	}
+	nSockets := opt.NSockets
+	if nSockets == 0 || nSockets > t.NumSockets() {
+		nSockets = t.NumSockets()
+	}
+	if policy == PowerPolicy && !t.Power().Available() {
+		return nil, fmt.Errorf("place: %v requires power measurements (Intel-only)", policy)
+	}
+
+	order, err := buildOrder(t, policy, nSockets, opt.NThreads)
+	if err != nil {
+		return nil, err
+	}
+	n := opt.NThreads
+	if n == 0 || n > len(order) {
+		n = len(order)
+	}
+	if policy == RRScale && n > 0 {
+		// RRScale may have produced fewer slots than requested; order is
+		// already capped.
+		if opt.NThreads > 0 && opt.NThreads < n {
+			n = opt.NThreads
+		}
+	}
+	return &Placement{
+		t:      t,
+		policy: policy,
+		ctxs:   order[:n],
+		taken:  make([]bool, n),
+	}, nil
+}
+
+// socketOrder returns sockets in placement priority: the socket with
+// maximum local memory bandwidth first. Connection-oriented policies
+// (CON_*) then chain to the best-connected unused socket; the others rank
+// by bandwidth throughout.
+func socketOrder(t *topo.Topology, chained bool, nSockets int) []*topo.Socket {
+	byBW := t.SocketsByLocalBW()
+	if !chained {
+		return byBW[:nSockets]
+	}
+	used := map[int]bool{byBW[0].ID: true}
+	order := []*topo.Socket{byBW[0]}
+	for len(order) < nSockets {
+		last := order[len(order)-1]
+		var next *topo.Socket
+		var bestLat int64
+		for _, cand := range t.SocketsByLatencyFrom(last.ID) {
+			if used[cand.ID] {
+				continue
+			}
+			lat := t.SocketLatency(last.ID, cand.ID)
+			if next == nil || lat < bestLat {
+				next, bestLat = cand, lat
+			}
+		}
+		if next == nil {
+			break
+		}
+		used[next.ID] = true
+		order = append(order, next)
+	}
+	return order
+}
+
+// hwcOrder lists a socket's contexts compactly: core by core, all SMT
+// contexts of a core together.
+func hwcOrder(t *topo.Topology, s *topo.Socket) []int {
+	var out []int
+	for _, core := range t.SocketGetCores(s) {
+		for _, c := range core.Contexts {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// coreHWCOrder lists a socket's contexts core-first: the first SMT context
+// of every core, then the second of every core, and so on.
+func coreHWCOrder(t *topo.Topology, s *topo.Socket) []int {
+	var out []int
+	cores := t.SocketGetCores(s)
+	for smt := 0; smt < t.SMTWays(); smt++ {
+		for _, core := range cores {
+			if smt < len(core.Contexts) {
+				out = append(out, core.Contexts[smt].ID)
+			}
+		}
+	}
+	return out
+}
+
+func buildOrder(t *topo.Topology, policy Policy, nSockets, nThreads int) ([]int, error) {
+	switch policy {
+	case None:
+		n := nThreads
+		if n == 0 {
+			n = t.NumHWContexts()
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = -1
+		}
+		return out, nil
+
+	case Sequential:
+		out := make([]int, t.NumHWContexts())
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+
+	case ConHWC, ConCoreHWC:
+		sockets := socketOrder(t, true, nSockets)
+		var out []int
+		for _, s := range sockets {
+			if policy == ConHWC {
+				out = append(out, hwcOrder(t, s)...)
+			} else {
+				out = append(out, coreHWCOrder(t, s)...)
+			}
+		}
+		return out, nil
+
+	case ConCore:
+		sockets := socketOrder(t, true, nSockets)
+		var out []int
+		for smt := 0; smt < t.SMTWays(); smt++ {
+			for _, s := range sockets {
+				for _, core := range t.SocketGetCores(s) {
+					if smt < len(core.Contexts) {
+						out = append(out, core.Contexts[smt].ID)
+					}
+				}
+			}
+		}
+		return out, nil
+
+	case BalanceHWC, BalanceCoreHWC, BalanceCore, RRCore, RRHWC:
+		sockets := socketOrder(t, false, nSockets)
+		perSocket := make([][]int, len(sockets))
+		for i, s := range sockets {
+			switch policy {
+			case BalanceHWC, RRHWC:
+				perSocket[i] = hwcOrder(t, s)
+			default:
+				perSocket[i] = coreHWCOrder(t, s)
+			}
+		}
+		return roundRobin(perSocket, 0), nil
+
+	case RRScale:
+		sockets := socketOrder(t, false, nSockets)
+		perSocket := make([][]int, len(sockets))
+		spec := t.Spec()
+		for i, s := range sockets {
+			order := coreHWCOrder(t, s)
+			cap := len(order)
+			if spec.StreamCoreBW > 0 && s.MemBW != nil {
+				need := int(s.MemBW[s.Local.ID]/spec.StreamCoreBW + 0.999)
+				if need < 1 {
+					need = 1
+				}
+				if need < cap {
+					cap = need
+				}
+			}
+			perSocket[i] = order[:cap]
+		}
+		return roundRobin(perSocket, 0), nil
+
+	case PowerPolicy:
+		return powerOrder(t, nSockets, nThreads), nil
+	}
+	return nil, fmt.Errorf("place: unhandled policy %v", policy)
+}
+
+// roundRobin interleaves the per-socket context lists.
+func roundRobin(perSocket [][]int, limit int) []int {
+	var out []int
+	idx := make([]int, len(perSocket))
+	for {
+		progress := false
+		for s := range perSocket {
+			if idx[s] < len(perSocket[s]) {
+				out = append(out, perSocket[s][idx[s]])
+				idx[s]++
+				progress = true
+				if limit > 0 && len(out) == limit {
+					return out
+				}
+			}
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+// powerOrder greedily adds the context whose activation increases the
+// estimated package power the least — SMT siblings of already active cores
+// first, then new cores on active sockets, then new sockets.
+func powerOrder(t *topo.Topology, nSockets, nThreads int) []int {
+	allowed := map[int]bool{}
+	for _, s := range socketOrder(t, false, nSockets) {
+		allowed[s.ID] = true
+	}
+	n := nThreads
+	if n == 0 {
+		n = t.NumHWContexts()
+	}
+	var chosen []int
+	inUse := map[int]bool{}
+	for len(chosen) < n {
+		_, cur := t.PowerEstimate(chosen, false)
+		best, bestDelta := -1, 0.0
+		for _, c := range t.Contexts() {
+			if inUse[c.ID] || !allowed[c.Socket.ID] {
+				continue
+			}
+			_, with := t.PowerEstimate(append(chosen, c.ID), false)
+			delta := with - cur
+			if best == -1 || delta < bestDelta {
+				best, bestDelta = c.ID, delta
+			}
+		}
+		if best == -1 {
+			break
+		}
+		chosen = append(chosen, best)
+		inUse[best] = true
+	}
+	return chosen
+}
+
+// Policy returns the placement's policy.
+func (p *Placement) Policy() Policy { return p.policy }
+
+// Topology returns the placement's topology.
+func (p *Placement) Topology() *topo.Topology { return p.t }
+
+// Contexts returns the assignment order (a copy). Entries of -1 mean the
+// thread is left unpinned (None policy).
+func (p *Placement) Contexts() []int {
+	return append([]int(nil), p.ctxs...)
+}
+
+// NThreads returns the number of threads the placement accommodates.
+func (p *Placement) NThreads() int { return len(p.ctxs) }
+
+// PinNext claims the next available slot and returns its hardware context
+// (-1 means run unpinned). ok is false when all slots are taken.
+func (p *Placement) PinNext() (ctx int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, t := range p.taken {
+		if !t {
+			p.taken[i] = true
+			return p.ctxs[i], true
+		}
+	}
+	return -1, false
+}
+
+// Unpin returns a context claimed by PinNext to the placement.
+func (p *Placement) Unpin(ctx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.ctxs {
+		if p.ctxs[i] == ctx && p.taken[i] {
+			p.taken[i] = false
+			return
+		}
+	}
+}
+
+// pinned returns the distinct pinned contexts (excludes -1 slots).
+func (p *Placement) pinnedCtxs() []int {
+	var out []int
+	for _, c := range p.ctxs {
+		if c >= 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SocketsUsed returns the sockets the placement touches, in first-use
+// order.
+func (p *Placement) SocketsUsed() []*topo.Socket {
+	seen := map[int]bool{}
+	var out []*topo.Socket
+	for _, c := range p.pinnedCtxs() {
+		s := p.t.Context(c).Socket
+		if !seen[s.ID] {
+			seen[s.ID] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NCores returns the number of distinct physical cores used.
+func (p *Placement) NCores() int {
+	seen := map[*topo.HWCGroup]bool{}
+	for _, c := range p.pinnedCtxs() {
+		seen[p.t.Context(c).Core] = true
+	}
+	return len(seen)
+}
+
+// CtxPerSocket returns, per used socket (in SocketsUsed order), how many
+// hardware contexts the placement occupies there.
+func (p *Placement) CtxPerSocket() []int {
+	sockets := p.SocketsUsed()
+	idx := map[int]int{}
+	for i, s := range sockets {
+		idx[s.ID] = i
+	}
+	counts := make([]int, len(sockets))
+	for _, c := range p.pinnedCtxs() {
+		counts[idx[p.t.Context(c).Socket.ID]]++
+	}
+	return counts
+}
+
+// CoresPerSocket returns distinct cores per used socket.
+func (p *Placement) CoresPerSocket() []int {
+	sockets := p.SocketsUsed()
+	idx := map[int]int{}
+	for i, s := range sockets {
+		idx[s.ID] = i
+	}
+	seen := map[*topo.HWCGroup]bool{}
+	counts := make([]int, len(sockets))
+	for _, c := range p.pinnedCtxs() {
+		core := p.t.Context(c).Core
+		if !seen[core] {
+			seen[core] = true
+			counts[idx[core.Socket.ID]]++
+		}
+	}
+	return counts
+}
+
+// BWProportions returns each used socket's share of the placement's
+// aggregate local memory bandwidth (Figure 7's "BW proportions").
+func (p *Placement) BWProportions() []float64 {
+	sockets := p.SocketsUsed()
+	var sum float64
+	bws := make([]float64, len(sockets))
+	for i, s := range sockets {
+		if s.MemBW != nil {
+			bws[i] = s.MemBW[s.Local.ID]
+		}
+		sum += bws[i]
+	}
+	if sum == 0 {
+		return bws
+	}
+	for i := range bws {
+		bws[i] /= sum
+	}
+	return bws
+}
+
+// MinBandwidth returns the aggregate local memory bandwidth of the used
+// sockets — the guaranteed streaming rate when every thread stays local
+// (Figure 7's "Min bandwidth").
+func (p *Placement) MinBandwidth() float64 {
+	var sum float64
+	for _, s := range p.SocketsUsed() {
+		if s.MemBW != nil {
+			sum += s.MemBW[s.Local.ID]
+		}
+	}
+	return sum
+}
+
+// MaxLatency returns the maximum communication latency between any two
+// placed threads (Figure 7's "Max latency"; also the educated-backoff
+// quantum of Section 5).
+func (p *Placement) MaxLatency() int64 {
+	return p.t.MaxLatencyBetween(p.pinnedCtxs())
+}
+
+// MaxPower estimates the placement's maximum power per used socket and in
+// total (Figure 7's "Max pow" lines). Zero when power data is unavailable.
+func (p *Placement) MaxPower(withDRAM bool) (perUsedSocket []float64, total float64) {
+	perAll, total := p.t.PowerEstimate(p.pinnedCtxs(), withDRAM)
+	for _, s := range p.SocketsUsed() {
+		perUsedSocket = append(perUsedSocket, perAll[s.ID])
+	}
+	return perUsedSocket, total
+}
+
+// String renders the placement report of Figure 7.
+func (p *Placement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## MCTOP Placement    : %s\n", p.policy)
+	fmt.Fprintf(&b, "#  # Cores            : %d\n", p.NCores())
+	ctxs := p.Contexts()
+	fmt.Fprintf(&b, "#  HW contexts (%d)   :", len(ctxs))
+	for i, c := range ctxs {
+		if i == 16 {
+			b.WriteString(" ...")
+			break
+		}
+		fmt.Fprintf(&b, " %d", c)
+	}
+	b.WriteByte('\n')
+	sockets := p.SocketsUsed()
+	ids := make([]string, len(sockets))
+	for i, s := range sockets {
+		ids[i] = fmt.Sprintf("%d", s.ID)
+	}
+	fmt.Fprintf(&b, "#  Sockets (%d)        : %s\n", len(sockets), strings.Join(ids, " "))
+	fmt.Fprintf(&b, "#  # HW ctx / socket  : %s\n", joinInts(p.CtxPerSocket()))
+	fmt.Fprintf(&b, "#  # Cores / socket   : %s\n", joinInts(p.CoresPerSocket()))
+	props := p.BWProportions()
+	parts := make([]string, len(props))
+	for i, f := range props {
+		parts[i] = fmt.Sprintf("%.3f", f)
+	}
+	fmt.Fprintf(&b, "#  BW proportions     : %s\n", strings.Join(parts, " "))
+	if p.t.Power().Available() {
+		per, total := p.MaxPower(false)
+		fmt.Fprintf(&b, "#  Max pow no DRAM    : %s= %.1f Watt\n", joinWatts(per), total)
+		perD, totalD := p.MaxPower(true)
+		fmt.Fprintf(&b, "#  Max pow with DRAM  : %s= %.1f Watt\n", joinWatts(perD), totalD)
+	}
+	fmt.Fprintf(&b, "#  Max latency        : %d cycles\n", p.MaxLatency())
+	fmt.Fprintf(&b, "#  Min bandwidth      : %.2f GB/s\n", p.MinBandwidth())
+	return b.String()
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func joinWatts(xs []float64) string {
+	var b strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%.1f ", x)
+	}
+	return b.String()
+}
+
+// Pool offers runtime selection of placement policies (Section 6): systems
+// can switch policies between execution phases, which is what the OpenMP
+// extension of Section 7.4 builds on.
+type Pool struct {
+	t *topo.Topology
+
+	mu  sync.Mutex
+	cur *Placement
+}
+
+// NewPool creates a pool with an initial policy.
+func NewPool(t *topo.Topology, policy Policy, opt Options) (*Pool, error) {
+	p, err := New(t, policy, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{t: t, cur: p}, nil
+}
+
+// Set switches to a new policy at runtime.
+func (pl *Pool) Set(policy Policy, opt Options) error {
+	p, err := New(pl.t, policy, opt)
+	if err != nil {
+		return err
+	}
+	pl.mu.Lock()
+	pl.cur = p
+	pl.mu.Unlock()
+	return nil
+}
+
+// Current returns the active placement.
+func (pl *Pool) Current() *Placement {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.cur
+}
+
+// Sorted verification helper: contexts in ascending order.
+func sortedCtxs(p *Placement) []int {
+	out := p.pinnedCtxs()
+	sort.Ints(out)
+	return out
+}

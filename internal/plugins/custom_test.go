@@ -1,0 +1,70 @@
+package plugins
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// interconnectHopPlugin is a user-written plugin, demonstrating the
+// extension point the paper advertises ("developers can write their own
+// plugins to further enrich MCTOP"): it derives per-hop interconnect
+// latencies from the already-inferred socket matrix and records the
+// slowest direct link in the spec's cross-level names.
+type interconnectHopPlugin struct {
+	worstDirect int64 // written by Run for the test to inspect
+}
+
+func (p *interconnectHopPlugin) Name() string { return "interconnect-hops" }
+
+func (p *interconnectHopPlugin) Run(m machine.Machine, t *topo.Topology, spec *topo.Spec) error {
+	for a := 0; a < t.NumSockets(); a++ {
+		for b := a + 1; b < t.NumSockets(); b++ {
+			for _, ic := range t.Socket(a).Interconnects {
+				if ic.To.ID == b && ic.Hops == 1 && ic.Latency > p.worstDirect {
+					p.worstDirect = ic.Latency
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func TestCustomPluginRuns(t *testing.T) {
+	p := sim.Opteron()
+	m, base := inferred(t, p, 77)
+	custom := &interconnectHopPlugin{}
+	if _, err := Enrich(m, base, []Plugin{custom}); err != nil {
+		t.Fatal(err)
+	}
+	// Hops counts cross-level rank: rank-1 links on the Opteron are the
+	// ~197-cycle MCM-sibling links.
+	if custom.worstDirect < 190 || custom.worstDirect > 204 {
+		t.Errorf("worst rank-1 link = %d, want ~197", custom.worstDirect)
+	}
+}
+
+// TestPluginErrorPropagates: a failing custom plugin aborts enrichment
+// with a wrapped error.
+type failingPlugin struct{}
+
+func (failingPlugin) Name() string { return "failing" }
+func (failingPlugin) Run(machine.Machine, *topo.Topology, *topo.Spec) error {
+	return errBoom
+}
+
+var errBoom = &bootError{}
+
+type bootError struct{}
+
+func (*bootError) Error() string { return "boom" }
+
+func TestPluginErrorPropagates(t *testing.T) {
+	p := sim.Ivy()
+	m, base := inferred(t, p, 78)
+	if _, err := Enrich(m, base, []Plugin{failingPlugin{}}); err == nil {
+		t.Fatal("expected enrichment to fail")
+	}
+}

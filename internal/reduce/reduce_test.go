@@ -1,0 +1,226 @@
+package reduce
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// opteronTopo builds an Opteron-like 8-socket topology with the paper's
+// asymmetric interconnect (197-cycle MCM pairs, 217 direct, 300 two-hop)
+// and per-link bandwidths favouring MCM siblings.
+func opteronTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	sockGroups := make([][]int, 8)
+	for s := 0; s < 8; s++ {
+		for c := 0; c < 6; c++ {
+			sockGroups[s] = append(sockGroups[s], s*6+c)
+		}
+	}
+	lat := make([][]int64, 8)
+	bw := make([][]float64, 8)
+	direct := func(a, b int) bool { return a/2 == b/2 || a%2 == b%2 }
+	for a := 0; a < 8; a++ {
+		lat[a] = make([]int64, 8)
+		bw[a] = make([]float64, 8)
+		for b := 0; b < 8; b++ {
+			switch {
+			case a == b:
+				lat[a][b] = 117
+			case a/2 == b/2:
+				lat[a][b] = 197
+				bw[a][b] = 5.3
+			case direct(a, b):
+				lat[a][b] = 217
+				bw[a][b] = 2.9
+			default:
+				lat[a][b] = 300
+				bw[a][b] = 2.0
+			}
+		}
+	}
+	spec := topo.Spec{
+		Name: "opt", Contexts: 48, Nodes: 8, SMTWays: 1, FreqGHz: 2.1,
+		Levels: []topo.Level{
+			{Name: "socket", Kind: topo.LevelSocket, Min: 109, Median: 117, Max: 125, Groups: sockGroups},
+			{Name: "mcm", Kind: topo.LevelCross, Min: 194, Median: 197, Max: 200},
+			{Name: "direct", Kind: topo.LevelCross, Min: 214, Median: 217, Max: 220},
+			{Name: "far", Kind: topo.LevelCross, Min: 297, Median: 300, Max: 303},
+		},
+		NodeOfSocket: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		SocketLat:    lat,
+		SocketBW:     bw,
+	}
+	tp, err := topo.FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func allSockets() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7} }
+
+func TestTreeValid(t *testing.T) {
+	tp := opteronTopo(t)
+	plan, err := Tree(tp, allSockets(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(allSockets()); err != nil {
+		t.Fatal(err)
+	}
+	// 8 sockets reduce in 3 rounds of 4/2/1 merges.
+	if len(plan.Rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(plan.Rounds))
+	}
+	if len(plan.Rounds[0]) != 4 || len(plan.Rounds[1]) != 2 || len(plan.Rounds[2]) != 1 {
+		t.Errorf("round sizes: %d/%d/%d", len(plan.Rounds[0]), len(plan.Rounds[1]), len(plan.Rounds[2]))
+	}
+}
+
+// TestTreePairsMCMSiblings: the max-bandwidth pairing must use the
+// 5.3 GB/s MCM links in the first round.
+func TestTreePairsMCMSiblings(t *testing.T) {
+	tp := opteronTopo(t)
+	plan, _ := Tree(tp, allSockets(), 0)
+	for _, st := range plan.Rounds[0] {
+		if st.From/2 != st.To/2 {
+			t.Errorf("first round pairs %d-%d, want MCM siblings", st.From, st.To)
+		}
+	}
+}
+
+func TestTreeDestSurvives(t *testing.T) {
+	tp := opteronTopo(t)
+	for _, dest := range allSockets() {
+		plan, err := Tree(tp, allSockets(), dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(allSockets()); err != nil {
+			t.Errorf("dest %d: %v", dest, err)
+		}
+		if plan.Dest != dest {
+			t.Errorf("dest = %d, want %d", plan.Dest, dest)
+		}
+	}
+}
+
+func TestTreeSubsets(t *testing.T) {
+	tp := opteronTopo(t)
+	cases := [][]int{
+		{0},
+		{0, 5},
+		{0, 1, 2},
+		{3, 4, 5, 6, 7},
+	}
+	for _, sockets := range cases {
+		plan, err := Tree(tp, sockets, sockets[0])
+		if err != nil {
+			t.Fatalf("%v: %v", sockets, err)
+		}
+		if err := plan.Validate(sockets); err != nil {
+			t.Errorf("%v: %v", sockets, err)
+		}
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tp := opteronTopo(t)
+	if _, err := Tree(tp, nil, 0); err == nil {
+		t.Error("empty sockets should fail")
+	}
+	if _, err := Tree(tp, []int{1, 2}, 0); err == nil {
+		t.Error("dest outside sockets should fail")
+	}
+	if _, err := Tree(tp, []int{1, 1}, 1); err == nil {
+		t.Error("duplicate socket should fail")
+	}
+	if _, err := Tree(tp, []int{99}, 99); err == nil {
+		t.Error("invalid socket should fail")
+	}
+}
+
+// TestOptimalTreeBeatsNaive: the merge-tree ablation — the cost-searched
+// tree must beat adjacent pairing on the asymmetric Opteron, and never
+// lose to the paper's per-level greedy.
+func TestOptimalTreeBeatsNaive(t *testing.T) {
+	tp := opteronTopo(t)
+	scrambled := []int{0, 3, 5, 6, 1, 2, 7, 4}
+	const bytes = 1 << 27
+	optimal, err := OptimalTree(tp, scrambled, 0, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := optimal.Validate(scrambled); err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Tree(tp, scrambled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveTree(tp, scrambled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naive.Validate(scrambled); err != nil {
+		t.Fatal(err)
+	}
+	cOpt := Cost(tp, optimal, bytes)
+	cGreedy := Cost(tp, greedy, bytes)
+	cNaive := Cost(tp, naive, bytes)
+	if cOpt >= cNaive {
+		t.Errorf("optimal tree %d cycles >= naive %d", cOpt, cNaive)
+	}
+	if cOpt > cGreedy {
+		t.Errorf("optimal tree %d cycles > greedy %d", cOpt, cGreedy)
+	}
+}
+
+func TestOptimalTreeErrors(t *testing.T) {
+	tp := opteronTopo(t)
+	if _, err := OptimalTree(tp, nil, 0, 1); err == nil {
+		t.Error("empty sockets should fail")
+	}
+	if _, err := OptimalTree(tp, []int{1, 2}, 0, 1); err == nil {
+		t.Error("dest outside sockets should fail")
+	}
+}
+
+func TestOptimalTreeSmall(t *testing.T) {
+	tp := opteronTopo(t)
+	for _, sockets := range [][]int{{2}, {2, 3}, {0, 1, 4}} {
+		plan, err := OptimalTree(tp, sockets, sockets[0], 1<<20)
+		if err != nil {
+			t.Fatalf("%v: %v", sockets, err)
+		}
+		if err := plan.Validate(sockets); err != nil {
+			t.Errorf("%v: %v", sockets, err)
+		}
+	}
+}
+
+func TestCostPositiveAndMonotone(t *testing.T) {
+	tp := opteronTopo(t)
+	plan, _ := Tree(tp, allSockets(), 0)
+	small := Cost(tp, plan, 1<<20)
+	big := Cost(tp, plan, 1<<24)
+	if small <= 0 || big <= small {
+		t.Errorf("cost not monotone: %d vs %d", small, big)
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	bad := Plan{Dest: 0, Rounds: [][]Step{{{From: 1, To: 1}}}}
+	if err := bad.Validate([]int{0, 1}); err == nil {
+		t.Error("self-merge should fail validation")
+	}
+	bad = Plan{Dest: 0, Rounds: [][]Step{{{From: 1, To: 0}}, {{From: 1, To: 0}}}}
+	if err := bad.Validate([]int{0, 1}); err == nil {
+		t.Error("double absorption should fail validation")
+	}
+	incomplete := Plan{Dest: 0, Rounds: nil}
+	if err := incomplete.Validate([]int{0, 1}); err == nil {
+		t.Error("plan leaving two sockets alive should fail")
+	}
+}

@@ -1,0 +1,323 @@
+// Package sched prototypes the future work of the MCTOP paper's Section 9:
+// thread scheduling built on top of MCTOP.
+//
+// The paper identifies what such a scheduler needs beyond MCTOP-PLACE's
+// static placements: (i) dynamically determining a good policy for an
+// application instead of asking the user, and (ii) scheduling applications
+// that co-execute and interfere — which requires tracking the *effective*
+// topology: "if an application is already executing, the effective memory
+// bandwidth for another application is less than the total bandwidth
+// reported by MCTOP."
+//
+// Scheduler does exactly that: it admits applications described by their
+// execution profiles (internal/exec workloads), places each on the
+// machine's remaining hardware contexts using the placement policy that
+// minimizes its predicted runtime on the *effective* topology — the MCTOP
+// with every node's bandwidth reduced by what already-running applications
+// consume — and releases resources when applications finish.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/topo"
+)
+
+// App is an application requesting admission.
+type App struct {
+	Name string
+	// Workload is the application's execution profile.
+	Workload exec.Workload
+	// Threads it wants. Must be >= 1.
+	Threads int
+}
+
+// Assignment records a running application's placement and prediction.
+type Assignment struct {
+	App  string
+	Ctxs []int
+	// Policy is a human-readable description of the placement shape chosen.
+	Policy string
+	// Predicted is the model's estimate on the effective topology at
+	// admission time.
+	Predicted exec.Report
+	// BWDemand is the application's estimated bandwidth draw per node
+	// (GB/s), used to derate the topology for later arrivals.
+	BWDemand map[int]float64
+}
+
+// Scheduler co-schedules applications on one machine.
+type Scheduler struct {
+	base    *topo.Topology
+	running map[string]*Assignment
+	taken   map[int]string // hardware context -> app
+}
+
+// New creates a scheduler over an enriched topology (memory bandwidths
+// must be measured: the effective-topology computation needs them).
+func New(t *topo.Topology) (*Scheduler, error) {
+	if t.Socket(0) == nil || t.Socket(0).MemBW == nil {
+		return nil, fmt.Errorf("sched: topology lacks bandwidth measurements (run the plugins)")
+	}
+	return &Scheduler{
+		base:    t,
+		running: make(map[string]*Assignment),
+		taken:   make(map[int]string),
+	}, nil
+}
+
+// FreeContexts returns the unassigned hardware contexts, ascending.
+func (s *Scheduler) FreeContexts() []int {
+	var out []int
+	for _, c := range s.base.Contexts() {
+		if _, busy := s.taken[c.ID]; !busy {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Running returns the names of admitted applications, sorted.
+func (s *Scheduler) Running() []string {
+	var out []string
+	for name := range s.running {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EffectiveBandwidth returns a node's bandwidth after subtracting the
+// demand of running applications (never below 10% of nominal — memory
+// controllers keep serving, just slower).
+func (s *Scheduler) EffectiveBandwidth(node int) float64 {
+	n := s.base.Node(node)
+	if n == nil {
+		return 0
+	}
+	bw := n.BW
+	for _, a := range s.running {
+		bw -= a.BWDemand[node]
+	}
+	if min := n.BW * 0.1; bw < min {
+		bw = min
+	}
+	return bw
+}
+
+// effectiveTopology rebuilds the MCTOP with every socket-to-node bandwidth
+// scaled by the nodes' current load — the "effective topology
+// characteristics" of Section 9.
+func (s *Scheduler) effectiveTopology() (*topo.Topology, error) {
+	spec := s.base.Spec()
+	if spec.MemBW == nil {
+		return s.base, nil
+	}
+	scaled := make([][]float64, len(spec.MemBW))
+	for sock := range spec.MemBW {
+		scaled[sock] = make([]float64, len(spec.MemBW[sock]))
+		for node, bw := range spec.MemBW[sock] {
+			nominal := s.base.Node(node).BW
+			factor := 1.0
+			if nominal > 0 {
+				factor = s.EffectiveBandwidth(node) / nominal
+			}
+			scaled[sock][node] = bw * factor
+		}
+	}
+	spec.MemBW = scaled
+	return topo.FromSpec(spec)
+}
+
+// candidate placements over the free contexts: compact (fill socket by
+// socket, unique cores first) and spread (round-robin over sockets).
+func (s *Scheduler) candidates(threads int) map[string][]int {
+	free := s.FreeContexts()
+	if len(free) < threads {
+		return nil
+	}
+	bySocket := map[int][]int{}
+	var socketOrder []int
+	for _, c := range free {
+		sid := s.base.Context(c).Socket.ID
+		if _, ok := bySocket[sid]; !ok {
+			socketOrder = append(socketOrder, sid)
+		}
+		bySocket[sid] = append(bySocket[sid], c)
+	}
+	// Order sockets by free local bandwidth, best first.
+	sort.SliceStable(socketOrder, func(i, j int) bool {
+		bi := s.EffectiveBandwidth(s.base.Socket(socketOrder[i]).Local.ID)
+		bj := s.EffectiveBandwidth(s.base.Socket(socketOrder[j]).Local.ID)
+		if bi != bj {
+			return bi > bj
+		}
+		return socketOrder[i] < socketOrder[j]
+	})
+	// Within a socket: unique cores first, SMT siblings after.
+	for sid, ctxs := range bySocket {
+		bySocket[sid] = coreFirst(s.base, ctxs)
+	}
+
+	out := map[string][]int{}
+	// Compact: fill sockets in order.
+	var compact []int
+	for _, sid := range socketOrder {
+		compact = append(compact, bySocket[sid]...)
+	}
+	out["compact"] = compact[:threads]
+	// Spread: round-robin over sockets.
+	var spread []int
+	idx := map[int]int{}
+	for len(spread) < len(compact) {
+		progress := false
+		for _, sid := range socketOrder {
+			if idx[sid] < len(bySocket[sid]) {
+				spread = append(spread, bySocket[sid][idx[sid]])
+				idx[sid]++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	out["spread"] = spread[:threads]
+	return out
+}
+
+// coreFirst orders contexts so that distinct cores come before SMT
+// siblings.
+func coreFirst(t *topo.Topology, ctxs []int) []int {
+	perCore := map[*topo.HWCGroup][]int{}
+	var coreOrder []*topo.HWCGroup
+	for _, c := range ctxs {
+		core := t.Context(c).Core
+		if _, ok := perCore[core]; !ok {
+			coreOrder = append(coreOrder, core)
+		}
+		perCore[core] = append(perCore[core], c)
+	}
+	var out []int
+	for round := 0; ; round++ {
+		progress := false
+		for _, core := range coreOrder {
+			if round < len(perCore[core]) {
+				out = append(out, perCore[core][round])
+				progress = true
+			}
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+// Admit places app on the remaining resources: it evaluates the candidate
+// placements against the effective topology and installs the fastest.
+func (s *Scheduler) Admit(app App) (*Assignment, error) {
+	if app.Name == "" || app.Threads < 1 {
+		return nil, fmt.Errorf("sched: app needs a name and >= 1 threads")
+	}
+	if _, dup := s.running[app.Name]; dup {
+		return nil, fmt.Errorf("sched: app %q already running", app.Name)
+	}
+	if free := len(s.FreeContexts()); free < app.Threads {
+		return nil, fmt.Errorf("sched: %q wants %d threads, only %d contexts free",
+			app.Name, app.Threads, free)
+	}
+	eff, err := s.effectiveTopology()
+	if err != nil {
+		return nil, err
+	}
+	var best *Assignment
+	for name, ctxs := range s.candidates(app.Threads) {
+		r, err := exec.Estimate(eff, ctxs, app.Workload)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.Cycles < best.Predicted.Cycles {
+			best = &Assignment{App: app.Name, Ctxs: ctxs, Policy: name, Predicted: r}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sched: no feasible placement for %q", app.Name)
+	}
+	best.BWDemand = s.bwDemand(best.Ctxs, app.Workload, best.Predicted)
+	for _, c := range best.Ctxs {
+		s.taken[c] = app.Name
+	}
+	s.running[app.Name] = best
+	return best, nil
+}
+
+// bwDemand estimates the application's steady-state bandwidth draw per
+// node: its memory bytes spread over its predicted runtime, attributed to
+// the nodes its placement touches.
+func (s *Scheduler) bwDemand(ctxs []int, wl exec.Workload, rep exec.Report) map[int]float64 {
+	out := map[int]float64{}
+	if rep.Seconds <= 0 {
+		return out
+	}
+	iters := wl.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	perSocketThreads := map[int]int{}
+	for _, c := range ctxs {
+		perSocketThreads[s.base.Context(c).Socket.ID]++
+	}
+	total := len(ctxs)
+	for _, ph := range wl.Phases {
+		if ph.Bytes <= 0 {
+			continue
+		}
+		bytesPerSec := float64(ph.Bytes*int64(iters)) / rep.Seconds / 1e9 // GB/s
+		for sock, n := range perSocketThreads {
+			share := bytesPerSec * float64(n) / float64(total)
+			switch {
+			case ph.Data == exec.DataLocal:
+				out[s.base.Socket(sock).Local.ID] += share
+			case ph.Data == exec.DataStriped:
+				per := share / float64(s.base.NumNodes())
+				for node := 0; node < s.base.NumNodes(); node++ {
+					out[node] += per
+				}
+			default:
+				out[ph.Data] += share
+			}
+		}
+	}
+	return out
+}
+
+// Remove releases a finished application's resources.
+func (s *Scheduler) Remove(name string) error {
+	a, ok := s.running[name]
+	if !ok {
+		return fmt.Errorf("sched: app %q not running", name)
+	}
+	for _, c := range a.Ctxs {
+		delete(s.taken, c)
+	}
+	delete(s.running, name)
+	return nil
+}
+
+// String summarizes the schedule.
+func (s *Scheduler) String() string {
+	out := fmt.Sprintf("scheduler on %s: %d/%d contexts in use\n",
+		s.base.Name(), len(s.taken), s.base.NumHWContexts())
+	for _, name := range s.Running() {
+		a := s.running[name]
+		out += fmt.Sprintf("  %-12s %2d threads (%s), predicted %.3f s\n",
+			a.App, len(a.Ctxs), a.Policy, a.Predicted.Seconds)
+	}
+	for node := 0; node < s.base.NumNodes(); node++ {
+		out += fmt.Sprintf("  node %d: %.1f / %.1f GB/s effective\n",
+			node, s.EffectiveBandwidth(node), s.base.Node(node).BW)
+	}
+	return out
+}

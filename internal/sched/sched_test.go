@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/mctopalg"
+	"repro/internal/plugins"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+var (
+	topoOnce sync.Once
+	ivyTopo  *topo.Topology
+)
+
+func ivy(t *testing.T) *topo.Topology {
+	t.Helper()
+	topoOnce.Do(func() {
+		m, err := machine.NewSim(sim.Ivy(), 71)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := mctopalg.DefaultOptions()
+		o.Reps = 51
+		res, err := mctopalg.Infer(m, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivyTopo, err = plugins.Enrich(m, res.Topology, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return ivyTopo
+}
+
+func computeApp(name string, threads int) App {
+	return App{Name: name, Threads: threads, Workload: exec.Workload{
+		Name: name, Phases: []exec.Phase{{WorkCycles: 1e9, SMTFriendly: 0.3}},
+	}}
+}
+
+func streamApp(name string, threads int, node int) App {
+	return App{Name: name, Threads: threads, Workload: exec.Workload{
+		Name: name, Phases: []exec.Phase{{Bytes: 8 << 30, Data: node}},
+	}}
+}
+
+func TestAdmitDisjointPlacements(t *testing.T) {
+	s, err := New(ivy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := s.Admit(computeApp("a1", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Admit(computeApp("a2", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range append(append([]int(nil), a1.Ctxs...), a2.Ctxs...) {
+		if seen[c] {
+			t.Fatalf("context %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+	if len(s.FreeContexts()) != 40-20 {
+		t.Errorf("free contexts = %d, want 20", len(s.FreeContexts()))
+	}
+	if got := s.Running(); len(got) != 2 || got[0] != "a1" || got[1] != "a2" {
+		t.Errorf("running = %v", got)
+	}
+}
+
+func TestOverSubscriptionRejected(t *testing.T) {
+	s, _ := New(ivy(t))
+	if _, err := s.Admit(computeApp("big", 41)); err == nil {
+		t.Error("should reject more threads than contexts")
+	}
+	if _, err := s.Admit(computeApp("a", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(computeApp("b", 20)); err == nil {
+		t.Error("should reject when not enough contexts remain")
+	}
+	if _, err := s.Admit(computeApp("a", 2)); err == nil {
+		t.Error("should reject duplicate app name")
+	}
+	if _, err := s.Admit(App{Name: "", Threads: 1}); err == nil {
+		t.Error("should reject empty name")
+	}
+}
+
+func TestRemoveFreesResources(t *testing.T) {
+	s, _ := New(ivy(t))
+	if _, err := s.Admit(computeApp("a", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(computeApp("b", 1)); err == nil {
+		t.Fatal("machine should be full")
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FreeContexts()) != 40 {
+		t.Error("removal did not free contexts")
+	}
+	if _, err := s.Admit(computeApp("b", 40)); err != nil {
+		t.Errorf("after removal: %v", err)
+	}
+	if err := s.Remove("nope"); err == nil {
+		t.Error("removing unknown app should fail")
+	}
+}
+
+// TestEffectiveBandwidthDegrades: a streaming app reduces its node's
+// effective bandwidth for later arrivals.
+func TestEffectiveBandwidthDegrades(t *testing.T) {
+	tp := ivy(t)
+	s, _ := New(tp)
+	nominal := s.EffectiveBandwidth(0)
+	if nominal != tp.Node(0).BW {
+		t.Fatalf("idle effective BW = %g, want nominal %g", nominal, tp.Node(0).BW)
+	}
+	if _, err := s.Admit(streamApp("hog", 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	after := s.EffectiveBandwidth(0)
+	if after >= nominal {
+		t.Errorf("effective BW after hog = %g, want < %g", after, nominal)
+	}
+	// Never below the floor.
+	if _, err := s.Admit(streamApp("hog2", 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.EffectiveBandwidth(0) < tp.Node(0).BW*0.1-1e-9 {
+		t.Error("effective BW fell below the floor")
+	}
+}
+
+// TestInterferenceAwarePlacement: with node 0 saturated by a running app,
+// a new bandwidth-bound app (local traffic) should be steered toward the
+// other socket.
+func TestInterferenceAwarePlacement(t *testing.T) {
+	tp := ivy(t)
+	s, _ := New(tp)
+	// Saturate node 0 with a pinned stream (compact placement lands on
+	// socket 0, the max-BW socket).
+	hog, err := s.Admit(streamApp("hog", 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hogSockets := map[int]bool{}
+	for _, c := range hog.Ctxs {
+		hogSockets[tp.Context(c).Socket.ID] = true
+	}
+	if len(hogSockets) != 1 || !hogSockets[0] {
+		t.Fatalf("hog not compact on socket 0: %v", hogSockets)
+	}
+	// A local-streaming app now sees socket 0's node derated; the compact
+	// candidate starts from the socket with the most *effective* local
+	// bandwidth.
+	app := App{Name: "victim", Threads: 4, Workload: exec.Workload{
+		Name: "victim", Phases: []exec.Phase{{Bytes: 8 << 30, Data: exec.DataLocal}},
+	}}
+	victim, err := s.Admit(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSocket1 := 0
+	for _, c := range victim.Ctxs {
+		if tp.Context(c).Socket.ID == 1 {
+			onSocket1++
+		}
+	}
+	if onSocket1 < len(victim.Ctxs)/2 {
+		t.Errorf("victim placed %d/%d threads on the loaded socket's side: %v",
+			len(victim.Ctxs)-onSocket1, len(victim.Ctxs), victim.Ctxs)
+	}
+}
+
+// TestPredictionAccountsForInterference: the same app admitted onto a
+// loaded machine must predict a longer runtime than onto an idle one.
+func TestPredictionAccountsForInterference(t *testing.T) {
+	tp := ivy(t)
+	idle, _ := New(tp)
+	// Force the app to stream from node 0 explicitly.
+	mk := func(name string) App { return streamApp(name, 4, 0) }
+	base, err := idle.Admit(mk("solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, _ := New(tp)
+	if _, err := loaded.Admit(streamApp("hog", 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	contended, err := loaded.Admit(mk("later"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contended.Predicted.Cycles <= base.Predicted.Cycles {
+		t.Errorf("contended prediction %d <= idle prediction %d",
+			contended.Predicted.Cycles, base.Predicted.Cycles)
+	}
+}
+
+func TestCompactVsSpreadSelection(t *testing.T) {
+	tp := ivy(t)
+	s, _ := New(tp)
+	// A sync-heavy app should pick the compact candidate.
+	syncApp := App{Name: "sync", Threads: 8, Workload: exec.Workload{
+		Name: "sync", Phases: []exec.Phase{{WorkCycles: 1e8, SyncOps: 500_000}},
+	}}
+	a, err := s.Admit(syncApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Policy != "compact" {
+		t.Errorf("sync-heavy app placed %s, want compact", a.Policy)
+	}
+	sockets := map[int]bool{}
+	for _, c := range a.Ctxs {
+		sockets[tp.Context(c).Socket.ID] = true
+	}
+	if len(sockets) != 1 {
+		t.Errorf("compact placement spans %d sockets", len(sockets))
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	s, _ := New(ivy(t))
+	if _, err := s.Admit(computeApp("app", 4)); err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	for _, want := range []string{"4/40 contexts", "app", "node 0:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewRequiresEnrichment(t *testing.T) {
+	// A bare (un-enriched) topology lacks bandwidths.
+	spec := ivy(t).Spec()
+	spec.MemBW = nil
+	bare, err := topo.FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(bare); err == nil {
+		t.Error("scheduler should require bandwidth measurements")
+	}
+}

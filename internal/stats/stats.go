@@ -1,0 +1,262 @@
+// Package stats provides the small statistical toolkit used by MCTOP-ALG:
+// medians, standard deviations, empirical CDFs, and the one-dimensional
+// latency clustering of Section 3.2 of the MCTOP paper (EuroSys '17).
+//
+// All functions are deterministic and allocate at most O(n).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs. It copies xs, so the input is not
+// reordered. Median panics on an empty slice: callers in this module always
+// operate on non-empty measurement sets, so an empty input is a programming
+// error, not a runtime condition.
+func Median(xs []int64) int64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean of xs as a float64.
+func Mean(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Stdev returns the population standard deviation of xs.
+func Stdev(xs []int64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []int64) (min, max int64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank on a sorted copy.
+func Percentile(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// CDFPoint is a single point of an empirical cumulative distribution
+// function: the fraction of samples with Value <= Value.
+type CDFPoint struct {
+	Value int64
+	Frac  float64
+}
+
+// CDF computes the empirical CDF of xs as a sequence of (value, fraction)
+// points in increasing value order, one point per distinct value. This is
+// the curve plotted in Figure 6 (2a) of the paper.
+func CDF(xs []int64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var pts []CDFPoint
+	n := float64(len(s))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		pts = append(pts, CDFPoint{Value: s[i], Frac: float64(j) / n})
+		i = j
+	}
+	return pts
+}
+
+// Triplet summarizes a latency cluster with its minimum, median and maximum
+// values, exactly as MCTOP-ALG records each detected cluster (Section 3.2).
+type Triplet struct {
+	Min, Median, Max int64
+}
+
+func (t Triplet) String() string {
+	return fmt.Sprintf("[%d %d %d]", t.Min, t.Median, t.Max)
+}
+
+// Contains reports whether v falls in the closed interval [Min, Max].
+func (t Triplet) Contains(v int64) bool { return v >= t.Min && v <= t.Max }
+
+// ClusterOptions tunes the 1-D clustering of latency values.
+type ClusterOptions struct {
+	// RelGap is the minimum relative gap between consecutive sorted values
+	// for a cluster boundary: a boundary is placed between a and b (a < b)
+	// when (b-a) > RelGap*a and (b-a) > AbsGap. The defaults mirror the
+	// separations visible on real machines (SMT vs core vs socket levels
+	// differ by 3-4x, intra-cluster jitter by a few percent).
+	RelGap float64
+	// AbsGap is the minimum absolute gap (cycles) for a boundary, protecting
+	// tiny values (e.g. the 0 diagonal) from spurious splits.
+	AbsGap int64
+	// MaxClusters, when > 0, caps the number of clusters; the smallest gaps
+	// are merged first if the cap is exceeded.
+	MaxClusters int
+}
+
+// DefaultClusterOptions returns the options used by libmctop.
+func DefaultClusterOptions() ClusterOptions {
+	return ClusterOptions{RelGap: 0.25, AbsGap: 10, MaxClusters: 0}
+}
+
+// Cluster partitions xs into latency clusters and returns one Triplet per
+// cluster in increasing value order. The clustering is gap based: sorted
+// values are split wherever consecutive values are separated by more than
+// the configured relative and absolute gaps. This implements step 2 of
+// MCTOP-ALG ("Clusters close values into groups").
+func Cluster(xs []int64, opt ClusterOptions) []Triplet {
+	if len(xs) == 0 {
+		return nil
+	}
+	if opt.RelGap <= 0 {
+		opt.RelGap = DefaultClusterOptions().RelGap
+	}
+	if opt.AbsGap <= 0 {
+		opt.AbsGap = DefaultClusterOptions().AbsGap
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+
+	// Find boundaries.
+	var groups [][]int64
+	start := 0
+	for i := 1; i < len(s); i++ {
+		gap := s[i] - s[i-1]
+		if gap > opt.AbsGap && float64(gap) > opt.RelGap*float64(s[i-1]) {
+			groups = append(groups, s[start:i])
+			start = i
+		}
+	}
+	groups = append(groups, s[start:])
+
+	// Optionally merge smallest inter-group gaps until under the cap.
+	for opt.MaxClusters > 0 && len(groups) > opt.MaxClusters {
+		best := 1
+		bestGap := int64(math.MaxInt64)
+		for i := 1; i < len(groups); i++ {
+			gap := groups[i][0] - groups[i-1][len(groups[i-1])-1]
+			if gap < bestGap {
+				bestGap = gap
+				best = i
+			}
+		}
+		merged := append(append([]int64(nil), groups[best-1]...), groups[best]...)
+		ng := make([][]int64, 0, len(groups)-1)
+		ng = append(ng, groups[:best-1]...)
+		ng = append(ng, merged)
+		ng = append(ng, groups[best+1:]...)
+		groups = ng
+	}
+
+	out := make([]Triplet, len(groups))
+	for i, g := range groups {
+		out[i] = Triplet{Min: g[0], Median: Median(g), Max: g[len(g)-1]}
+	}
+	return out
+}
+
+// Assign maps value v to the index of the cluster whose [Min, Max] interval
+// contains it, or to the nearest cluster median if no interval contains it.
+// The second return value is false only when clusters is empty.
+func Assign(clusters []Triplet, v int64) (int, bool) {
+	if len(clusters) == 0 {
+		return 0, false
+	}
+	for i, c := range clusters {
+		if c.Contains(v) {
+			return i, true
+		}
+	}
+	best, bestDist := 0, int64(math.MaxInt64)
+	for i, c := range clusters {
+		d := v - c.Median
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	return best, true
+}
+
+// Normalize replaces every value in table with the median of its assigned
+// cluster, producing the normalized latency table of Figure 6 (2b). The
+// diagonal (self-latency zero) is preserved as-is. Normalize returns a new
+// table; the input is not modified.
+func Normalize(table [][]int64, clusters []Triplet) [][]int64 {
+	out := make([][]int64, len(table))
+	for i, row := range table {
+		out[i] = make([]int64, len(row))
+		for j, v := range row {
+			if i == j {
+				out[i][j] = 0
+				continue
+			}
+			idx, ok := Assign(clusters, v)
+			if !ok {
+				out[i][j] = v
+				continue
+			}
+			out[i][j] = clusters[idx].Median
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{5}, 5},
+		{[]int64{1, 2, 3}, 2},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{1, 2, 3, 4}, 2},
+		{[]int64{4, 4, 4, 4}, 4},
+		{[]int64{10, 0}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []int64{9, 1, 5}
+	Median(in)
+	if !reflect.DeepEqual(in, []int64{9, 1, 5}) {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMedianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Median of empty slice did not panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestMeanStdev(t *testing.T) {
+	xs := []int64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Stdev(xs); got != 2 {
+		t.Errorf("Stdev = %v, want 2", got)
+	}
+	if got := Stdev([]int64{42}); got != 0 {
+		t.Errorf("Stdev single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]int64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%d,%d), want (-1,7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = (%d,%d), want (0,0)", min, max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("P50 = %d, want 5", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %d, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("P100 = %d, want 10", got)
+	}
+	if got := Percentile(xs, 90); got != 9 {
+		t.Errorf("P90 = %d, want 9", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]int64{1, 1, 2, 4})
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {4, 1.0}}
+	if !reflect.DeepEqual(pts, want) {
+		t.Errorf("CDF = %v, want %v", pts, want)
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int64, 500)
+	for i := range xs {
+		xs[i] = rng.Int63n(1000)
+	}
+	pts := CDF(xs)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Fatalf("CDF values not increasing at %d", i)
+		}
+		if pts[i].Frac <= pts[i-1].Frac {
+			t.Fatalf("CDF fractions not increasing at %d", i)
+		}
+	}
+	if last := pts[len(pts)-1].Frac; last != 1.0 {
+		t.Errorf("final CDF fraction = %v, want 1.0", last)
+	}
+}
+
+// TestClusterIvyLevels feeds the latency populations of the paper's Ivy
+// example (28-cycle SMT, ~112-cycle intra-socket, ~308-cycle cross-socket)
+// and expects exactly three clusters with the right medians.
+func TestClusterIvyLevels(t *testing.T) {
+	var xs []int64
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		xs = append(xs, 28+rng.Int63n(3)-1) // 27..29
+	}
+	for i := 0; i < 400; i++ {
+		xs = append(xs, 112+rng.Int63n(41)-20) // 92..132
+	}
+	for i := 0; i < 400; i++ {
+		xs = append(xs, 308+rng.Int63n(41)-20) // 288..328
+	}
+	cl := Cluster(xs, DefaultClusterOptions())
+	if len(cl) != 3 {
+		t.Fatalf("got %d clusters (%v), want 3", len(cl), cl)
+	}
+	if cl[0].Median < 27 || cl[0].Median > 29 {
+		t.Errorf("SMT cluster median = %d", cl[0].Median)
+	}
+	if cl[1].Median < 100 || cl[1].Median > 124 {
+		t.Errorf("intra-socket cluster median = %d", cl[1].Median)
+	}
+	if cl[2].Median < 296 || cl[2].Median > 320 {
+		t.Errorf("cross-socket cluster median = %d", cl[2].Median)
+	}
+}
+
+func TestClusterSingleValue(t *testing.T) {
+	cl := Cluster([]int64{100, 100, 100}, DefaultClusterOptions())
+	if len(cl) != 1 || cl[0].Median != 100 || cl[0].Min != 100 || cl[0].Max != 100 {
+		t.Errorf("Cluster = %v", cl)
+	}
+}
+
+func TestClusterMaxClusters(t *testing.T) {
+	xs := []int64{10, 11, 50, 51, 100, 101, 500, 501}
+	cl := Cluster(xs, ClusterOptions{RelGap: 0.2, AbsGap: 5, MaxClusters: 2})
+	if len(cl) != 2 {
+		t.Fatalf("got %d clusters, want 2 (cap)", len(cl))
+	}
+	// The largest gap (101 -> 500) must survive the merging.
+	if cl[0].Max >= 500 || cl[1].Min < 500 {
+		t.Errorf("cap merged the wrong boundary: %v", cl)
+	}
+}
+
+// Property: clustering yields a partition — every input value is contained
+// in exactly one cluster interval, clusters are ordered and non-overlapping.
+func TestClusterPartitionProperty(t *testing.T) {
+	f := func(seed int64, nLevels uint8, perLevel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		levels := int(nLevels%4) + 1
+		per := int(perLevel%20) + 5
+		var xs []int64
+		base := int64(20)
+		for l := 0; l < levels; l++ {
+			for i := 0; i < per; i++ {
+				xs = append(xs, base+rng.Int63n(base/10+1))
+			}
+			base *= 3
+		}
+		cl := Cluster(xs, DefaultClusterOptions())
+		// Ordered, non-overlapping.
+		for i := 1; i < len(cl); i++ {
+			if cl[i].Min <= cl[i-1].Max {
+				return false
+			}
+		}
+		// Every value in exactly one interval.
+		for _, v := range xs {
+			count := 0
+			for _, c := range cl {
+				if c.Contains(v) {
+					count++
+				}
+			}
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalization is idempotent and only emits cluster medians (or
+// zero on the diagonal).
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		table := make([][]int64, n)
+		var all []int64
+		for i := range table {
+			table[i] = make([]int64, n)
+			for j := range table[i] {
+				if i == j {
+					continue
+				}
+				base := int64(100)
+				if (i < n/2) != (j < n/2) {
+					base = 300
+				}
+				v := base + rng.Int63n(11) - 5
+				table[i][j] = v
+				all = append(all, v)
+			}
+		}
+		cl := Cluster(all, DefaultClusterOptions())
+		norm := Normalize(table, cl)
+		norm2 := Normalize(norm, cl)
+		if !reflect.DeepEqual(norm, norm2) {
+			return false
+		}
+		medians := map[int64]bool{0: true}
+		for _, c := range cl {
+			medians[c.Median] = true
+		}
+		for i := range norm {
+			for j := range norm[i] {
+				if !medians[norm[i][j]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	cl := []Triplet{{25, 28, 31}, {90, 112, 140}, {290, 308, 330}}
+	if idx, ok := Assign(cl, 28); !ok || idx != 0 {
+		t.Errorf("Assign(28) = %d,%v", idx, ok)
+	}
+	if idx, ok := Assign(cl, 139); !ok || idx != 1 {
+		t.Errorf("Assign(139) = %d,%v", idx, ok)
+	}
+	// Outside all intervals: nearest median.
+	if idx, ok := Assign(cl, 200); !ok || idx != 1 {
+		t.Errorf("Assign(200) = %d,%v, want 1", idx, ok)
+	}
+	if idx, ok := Assign(cl, 1000); !ok || idx != 2 {
+		t.Errorf("Assign(1000) = %d,%v, want 2", idx, ok)
+	}
+	if _, ok := Assign(nil, 5); ok {
+		t.Error("Assign on empty clusters should return ok=false")
+	}
+}
+
+func TestNormalizePreservesDiagonal(t *testing.T) {
+	table := [][]int64{{0, 100}, {100, 0}}
+	cl := Cluster([]int64{100, 100}, DefaultClusterOptions())
+	norm := Normalize(table, cl)
+	if norm[0][0] != 0 || norm[1][1] != 0 {
+		t.Errorf("diagonal not preserved: %v", norm)
+	}
+	if norm[0][1] != 100 || norm[1][0] != 100 {
+		t.Errorf("off-diagonal wrong: %v", norm)
+	}
+}
+
+func TestClusterSortedInput(t *testing.T) {
+	xs := []int64{500, 20, 21, 480, 19, 510}
+	cl := Cluster(xs, DefaultClusterOptions())
+	if len(cl) != 2 {
+		t.Fatalf("want 2 clusters, got %v", cl)
+	}
+	if !sort.SliceIsSorted(cl, func(i, j int) bool { return cl[i].Median < cl[j].Median }) {
+		t.Errorf("clusters not sorted: %v", cl)
+	}
+}

@@ -1,0 +1,201 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graphviz visualization (Section 2.1): libmctop generates two graphs — the
+// intra-socket topology with memory latencies/bandwidths (Figures 1a, 2a,
+// 3) and the cross-socket topology with interconnect latencies and
+// bandwidths plus the non-direct "lvl N" note (Figures 1b, 2b).
+
+// DotIntraSocket renders the intra-socket graph of one socket: a cluster of
+// core rows (each row lists the core's hardware contexts and the same-core
+// latency), surrounded by the memory nodes with their latency and bandwidth
+// from this socket; the local node is shaded.
+func (t *Topology) DotIntraSocket(socket int) string {
+	s := t.Socket(socket)
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph mctop_socket_%d {\n", socket)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  subgraph cluster_socket {\n    label=\"Socket %d - %d cycles\";\n", socket, s.Latency)
+	coreLat := int64(0)
+	if t.HasSMT() {
+		coreLat = t.cores[0].Latency
+	}
+	for _, core := range t.SocketGetCores(s) {
+		ids := make([]string, 0, len(core.Contexts))
+		for _, c := range core.Contexts {
+			ids = append(ids, fmt.Sprintf("%03d", c.ID))
+		}
+		label := strings.Join(ids, " ")
+		if t.HasSMT() {
+			label += fmt.Sprintf("  %d", coreLat)
+		}
+		fmt.Fprintf(&b, "    core_%d [label=\"%s\"];\n", core.ID, label)
+	}
+	b.WriteString("  }\n")
+	for _, n := range t.nodes {
+		lat, bw := int64(0), 0.0
+		if s.MemLat != nil {
+			lat = s.MemLat[n.ID]
+		}
+		if s.MemBW != nil {
+			bw = s.MemBW[n.ID]
+		}
+		style := ""
+		if s.Local == n {
+			style = ", style=filled, fillcolor=gray80"
+		}
+		fmt.Fprintf(&b, "  node_%d [label=\"Node %d\\n%d cy\\n%.1f GB/s\"%s];\n", n.ID, n.ID, lat, bw, style)
+		fmt.Fprintf(&b, "  cluster_anchor_%d [style=invis, label=\"\"];\n", n.ID)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DotCrossSocket renders the cross-socket graph: sockets as vertices,
+// direct interconnects as labeled edges, and a note for each non-direct
+// latency level ("lvl 4 (2 hops) NNN cy").
+func (t *Topology) DotCrossSocket() string {
+	var b strings.Builder
+	b.WriteString("graph mctop_cross_socket {\n")
+	b.WriteString("  layout=circo;\n  node [shape=circle, fontname=\"Helvetica\"];\n")
+	for _, s := range t.sockets {
+		fmt.Fprintf(&b, "  s%d [label=\"%d\"];\n", s.ID, s.ID)
+	}
+	for _, s := range t.sockets {
+		for _, ic := range s.Interconnects {
+			if ic.To.ID < s.ID || ic.Hops != 1 {
+				continue // draw each direct link once
+			}
+			label := fmt.Sprintf("%d cy", ic.Latency)
+			if ic.BW > 0 {
+				label += fmt.Sprintf("\\n%.1f GB/s", ic.BW)
+			}
+			fmt.Fprintf(&b, "  s%d -- s%d [label=\"%s\"];\n", s.ID, ic.To.ID, label)
+		}
+	}
+	// Non-direct levels as annotations, matching the paper's "lvl 4".
+	si := t.spec.socketLevelIdx()
+	for i, l := range t.levels {
+		if l.Kind != LevelCross || i == si+1 {
+			continue
+		}
+		hops := i - si
+		fmt.Fprintf(&b, "  lvl%d [shape=plaintext, label=\"lvl %d\\n(%d hops) %d cy\"];\n", i, i, hops, l.Median)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders a textual summary of the topology, the "textual output"
+// alternative to the graphs.
+func (t *Topology) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MCTOP %s: %d contexts, %d cores, %d sockets, %d nodes, SMT=%d\n",
+		t.name, t.NumHWContexts(), t.NumCores(), t.NumSockets(), t.NumNodes(), t.smtWays)
+	for i, l := range t.levels {
+		fmt.Fprintf(&b, "  level %d (%s %q): lat %d [%d..%d]",
+			i+1, l.Kind, l.Name, l.Median, l.Min, l.Max)
+		if l.Groups != nil {
+			fmt.Fprintf(&b, ", %d groups of %d", len(l.Groups), len(l.Groups[0]))
+		}
+		b.WriteByte('\n')
+	}
+	for _, s := range t.sockets {
+		fmt.Fprintf(&b, "  socket %d: node %d, contexts", s.ID, s.Local.ID)
+		for i, c := range s.Contexts {
+			if i == 8 {
+				fmt.Fprintf(&b, " ... (%d total)", len(s.Contexts))
+				break
+			}
+			fmt.Fprintf(&b, " %d", c.ID)
+		}
+		if s.MemLat != nil {
+			fmt.Fprintf(&b, "; local mem %d cy", s.MemLat[s.Local.ID])
+		}
+		if s.MemBW != nil {
+			fmt.Fprintf(&b, " %.1f GB/s", s.MemBW[s.Local.ID])
+		}
+		b.WriteByte('\n')
+	}
+	if t.NumSockets() > 1 {
+		b.WriteString("  socket latencies:\n")
+		for _, row := range t.socketLat {
+			b.WriteString("   ")
+			for _, v := range row {
+				fmt.Fprintf(&b, " %4d", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CompareOS compares the inferred topology against the operating system's
+// view (Section 3.6: "one basic sanity check is to compare the inferred
+// MCTOP to the topology of the OS") and returns a human-readable list of
+// divergences — empty when the two agree.
+func (t *Topology) CompareOS(osCoreOfCtx, osSocketOfCtx, osNodeOfSocket []int) []string {
+	var diffs []string
+	n := t.NumHWContexts()
+	if len(osCoreOfCtx) != n || len(osSocketOfCtx) != n {
+		return []string{fmt.Sprintf("OS reports %d contexts, MCTOP has %d", len(osCoreOfCtx), n)}
+	}
+	// Same-core relation must match.
+	coreMismatch := 0
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			mct := t.Context(x).Core == t.Context(y).Core
+			osv := osCoreOfCtx[x] == osCoreOfCtx[y]
+			if mct != osv {
+				coreMismatch++
+			}
+		}
+	}
+	if coreMismatch > 0 {
+		diffs = append(diffs, fmt.Sprintf("core grouping differs for %d context pairs", coreMismatch))
+	}
+	// Same-socket relation must match.
+	sockMismatch := 0
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			mct := t.Context(x).Socket == t.Context(y).Socket
+			osv := osSocketOfCtx[x] == osSocketOfCtx[y]
+			if mct != osv {
+				sockMismatch++
+			}
+		}
+	}
+	if sockMismatch > 0 {
+		diffs = append(diffs, fmt.Sprintf("socket grouping differs for %d context pairs", sockMismatch))
+	}
+	// Socket-to-node mapping: map each MCTOP socket to the OS socket that
+	// holds the same contexts, then compare claimed local nodes. This is
+	// the check that catches the Opteron's misconfigured OS (footnote 1).
+	if sockMismatch == 0 && len(osNodeOfSocket) > 0 {
+		var nodeDiffs []int
+		for _, s := range t.sockets {
+			osSock := osSocketOfCtx[s.Contexts[0].ID]
+			if osSock < 0 || osSock >= len(osNodeOfSocket) {
+				continue
+			}
+			if osNodeOfSocket[osSock] != s.Local.ID {
+				nodeDiffs = append(nodeDiffs, s.ID)
+			}
+		}
+		if len(nodeDiffs) > 0 {
+			sort.Ints(nodeDiffs)
+			diffs = append(diffs, fmt.Sprintf(
+				"socket-to-node mapping differs for sockets %v (OS may be misconfigured; rerun the memory-latency experiment to confirm)",
+				nodeDiffs))
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,189 @@
+package topo
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomSpec builds a random but structurally valid spec: S sockets x C
+// cores x T SMT contexts, with plausible ascending latency levels and
+// optional enrichment payloads — the generator behind the round-trip and
+// construction property tests.
+func randomSpec(rng *rand.Rand) Spec {
+	sockets := rng.Intn(4) + 1
+	cores := rng.Intn(6) + 1
+	smt := 1
+	if rng.Intn(2) == 1 {
+		smt = rng.Intn(3) + 2 // 2..4
+	}
+	nCtx := sockets * cores * smt
+
+	// Context numbering: consecutive per core.
+	var coreGroups, sockGroups [][]int
+	for s := 0; s < sockets; s++ {
+		var sg []int
+		for c := 0; c < cores; c++ {
+			var cg []int
+			for t := 0; t < smt; t++ {
+				ctx := (s*cores+c)*smt + t
+				cg = append(cg, ctx)
+				sg = append(sg, ctx)
+			}
+			if smt > 1 {
+				coreGroups = append(coreGroups, cg)
+			}
+		}
+		sockGroups = append(sockGroups, sg)
+	}
+
+	var levels []Level
+	lat := int64(rng.Intn(30) + 20)
+	if smt > 1 {
+		levels = append(levels, Level{
+			Name: "core", Kind: LevelGroup, Min: lat - 1, Median: lat, Max: lat + 1,
+			Groups: coreGroups,
+		})
+		lat = lat*3 + int64(rng.Intn(40))
+	}
+	// Degenerate machines where the socket is a single core: the socket
+	// level must then be the first grouped level.
+	if smt > 1 && cores == 1 {
+		levels[len(levels)-1].Kind = LevelSocket
+		levels[len(levels)-1].Name = "socket"
+	} else {
+		levels = append(levels, Level{
+			Name: "socket", Kind: LevelSocket, Min: lat - 8, Median: lat, Max: lat + 8,
+			Groups: sockGroups,
+		})
+	}
+	cross := lat*3 + int64(rng.Intn(50))
+	if sockets > 1 {
+		levels = append(levels, Level{
+			Name: "cross", Kind: LevelCross, Min: cross - 4, Median: cross, Max: cross + 4,
+		})
+	}
+	sockLat := make([][]int64, sockets)
+	for a := 0; a < sockets; a++ {
+		sockLat[a] = make([]int64, sockets)
+		for b := 0; b < sockets; b++ {
+			if a == b {
+				sockLat[a][b] = levelMedian(levels, LevelSocket)
+			} else {
+				sockLat[a][b] = cross
+			}
+		}
+	}
+	nodeOf := rng.Perm(sockets)
+
+	spec := Spec{
+		Name: "rand", Contexts: nCtx, Nodes: sockets, SMTWays: smt,
+		FreqGHz: float64(rng.Intn(3)+1) + 0.5,
+		Levels:  levels, NodeOfSocket: nodeOf, SocketLat: sockLat,
+	}
+	if rng.Intn(2) == 1 {
+		spec.MemLat = make([][]int64, sockets)
+		spec.MemBW = make([][]float64, sockets)
+		for s := 0; s < sockets; s++ {
+			spec.MemLat[s] = make([]int64, sockets)
+			spec.MemBW[s] = make([]float64, sockets)
+			for n := 0; n < sockets; n++ {
+				spec.MemLat[s][n] = int64(200 + rng.Intn(400))
+				spec.MemBW[s][n] = float64(rng.Intn(20) + 2)
+			}
+		}
+		spec.StreamCoreBW = float64(rng.Intn(5) + 1)
+	}
+	if rng.Intn(3) == 0 {
+		spec.Cache = &CacheInfo{LatL1: 4, LatL2: 12, LatLLC: 40,
+			SizeL1: 32 << 10, SizeL2: 256 << 10, SizeLLC: 8 << 20}
+	}
+	return spec
+}
+
+func levelMedian(levels []Level, kind LevelKind) int64 {
+	for _, l := range levels {
+		if l.Kind == kind {
+			return l.Median
+		}
+	}
+	return 1
+}
+
+// Property: every randomly generated spec builds, and its description file
+// round-trips to an identical spec.
+func TestRandomSpecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := randomSpec(rng)
+		if _, err := FromSpec(spec); err != nil {
+			t.Logf("seed %d: FromSpec: %v", seed, err)
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, &spec); err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(&spec, got) {
+			t.Logf("seed %d: round-trip mismatch", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on every random topology the structural queries agree with the
+// generator's arithmetic.
+func TestRandomSpecQueries(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := randomSpec(rng)
+		top, err := FromSpec(spec)
+		if err != nil {
+			return false
+		}
+		smt := spec.SMTWays
+		cores := spec.Contexts / smt
+		if top.NumCores() != cores {
+			t.Logf("seed %d: cores = %d, want %d", seed, top.NumCores(), cores)
+			return false
+		}
+		// GetLatency is symmetric and zero only on the diagonal.
+		for trial := 0; trial < 20; trial++ {
+			x := rng.Intn(spec.Contexts)
+			y := rng.Intn(spec.Contexts)
+			lx := top.GetLatency(x, y)
+			if lx != top.GetLatency(y, x) {
+				return false
+			}
+			if (x == y) != (lx == 0) {
+				return false
+			}
+		}
+		// Every context's Next chain covers the machine exactly once.
+		seen := map[int]bool{}
+		c := top.Context(0)
+		for i := 0; i < spec.Contexts; i++ {
+			if seen[c.ID] {
+				return false
+			}
+			seen[c.ID] = true
+			c = c.Next
+		}
+		return c.ID == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

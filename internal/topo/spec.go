@@ -1,0 +1,434 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec is the complete, serializable description of an MCTOP topology: what
+// MCTOP-ALG produces, what description files store, and what FromSpec turns
+// into the linked Topology structure.
+type Spec struct {
+	Name     string
+	Contexts int
+	Nodes    int
+	// SMTWays is the number of hardware contexts per core (1 = no SMT).
+	SMTWays int
+	FreqGHz float64
+
+	// Levels are the latency levels in ascending order. Intra-socket levels
+	// (LevelGroup and the single LevelSocket) carry component partitions;
+	// cross-socket levels (LevelCross) carry only their latency cluster.
+	Levels []Level
+
+	// NodeOfSocket maps socket index (the order of the socket level's
+	// groups) to memory node id.
+	NodeOfSocket []int
+
+	// SocketLat is the full socket-to-socket latency matrix; the diagonal
+	// holds the intra-socket latency.
+	SocketLat [][]int64
+	// SocketBW is the measured interconnect bandwidth matrix (optional).
+	SocketBW [][]float64
+
+	// MemLat / MemBW are the memory plugins' socket-by-node measurements
+	// (optional until the plugins run).
+	MemLat [][]int64
+	MemBW  [][]float64
+	// StreamCoreBW is the bandwidth one streaming core achieves (GB/s);
+	// the RR_SCALE policy uses it to compute how many threads saturate a
+	// node. 0 when the bandwidth plugin has not run.
+	StreamCoreBW float64
+
+	Cache *CacheInfo
+	Power *PowerInfo
+}
+
+// socketLevelIdx returns the index of the socket level, or -1.
+func (s *Spec) socketLevelIdx() int {
+	for i, l := range s.Levels {
+		if l.Kind == LevelSocket {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the structural invariants libmctop relies on (the same
+// symmetry rules it uses to detect mis-clustered measurements, Section 3.6).
+func (s *Spec) Validate() error {
+	if s.Contexts <= 0 {
+		return fmt.Errorf("topo: %s: no hardware contexts", s.Name)
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("topo: %s: no memory nodes", s.Name)
+	}
+	if s.SMTWays < 1 {
+		return fmt.Errorf("topo: %s: SMTWays = %d", s.Name, s.SMTWays)
+	}
+	si := s.socketLevelIdx()
+	if si < 0 {
+		return fmt.Errorf("topo: %s: no socket level", s.Name)
+	}
+	prevLat := int64(0)
+	prevGroups := 0
+	for i, l := range s.Levels {
+		if l.Median <= prevLat {
+			return fmt.Errorf("topo: %s: level %d latency %d not above previous %d",
+				s.Name, i, l.Median, prevLat)
+		}
+		prevLat = l.Median
+		switch {
+		case i < si:
+			if l.Kind != LevelGroup {
+				return fmt.Errorf("topo: %s: level %d below socket level has kind %v", s.Name, i, l.Kind)
+			}
+		case i == si:
+		default:
+			if l.Kind != LevelCross {
+				return fmt.Errorf("topo: %s: level %d above socket level has kind %v", s.Name, i, l.Kind)
+			}
+			if l.Groups != nil {
+				return fmt.Errorf("topo: %s: cross level %d must not carry groups", s.Name, i)
+			}
+			continue
+		}
+		// Grouped level: must partition the contexts into uniform,
+		// nested components.
+		if err := s.validatePartition(i, l, prevGroups); err != nil {
+			return err
+		}
+		prevGroups = i + 1 // levels 0..i validated as grouped
+	}
+	nSockets := len(s.Levels[si].Groups)
+	if len(s.NodeOfSocket) != nSockets {
+		return fmt.Errorf("topo: %s: NodeOfSocket has %d entries for %d sockets",
+			s.Name, len(s.NodeOfSocket), nSockets)
+	}
+	nodeSeen := make([]bool, s.Nodes)
+	for sock, n := range s.NodeOfSocket {
+		if n < 0 || n >= s.Nodes {
+			return fmt.Errorf("topo: %s: socket %d mapped to invalid node %d", s.Name, sock, n)
+		}
+		nodeSeen[n] = true
+	}
+	for n, ok := range nodeSeen {
+		if !ok {
+			return fmt.Errorf("topo: %s: node %d has no socket", s.Name, n)
+		}
+	}
+	if len(s.SocketLat) != nSockets {
+		return fmt.Errorf("topo: %s: SocketLat is %dx? for %d sockets", s.Name, len(s.SocketLat), nSockets)
+	}
+	for i, row := range s.SocketLat {
+		if len(row) != nSockets {
+			return fmt.Errorf("topo: %s: SocketLat row %d has %d entries", s.Name, i, len(row))
+		}
+		for j, v := range row {
+			if v <= 0 {
+				return fmt.Errorf("topo: %s: SocketLat[%d][%d] = %d", s.Name, i, j, v)
+			}
+			if s.SocketLat[j][i] != v {
+				return fmt.Errorf("topo: %s: SocketLat not symmetric at (%d,%d)", s.Name, i, j)
+			}
+		}
+	}
+	if s.MemLat != nil {
+		if len(s.MemLat) != nSockets {
+			return fmt.Errorf("topo: %s: MemLat has %d rows", s.Name, len(s.MemLat))
+		}
+		for i, row := range s.MemLat {
+			if len(row) != s.Nodes {
+				return fmt.Errorf("topo: %s: MemLat row %d has %d entries", s.Name, i, len(row))
+			}
+		}
+	}
+	if s.MemBW != nil && len(s.MemBW) != nSockets {
+		return fmt.Errorf("topo: %s: MemBW has %d rows", s.Name, len(s.MemBW))
+	}
+	return nil
+}
+
+// validatePartition enforces the symmetry rules of Section 3.6 on one
+// grouped level: every context in exactly one component, all components the
+// same size, and every lower-level component contained in exactly one
+// component of this level.
+func (s *Spec) validatePartition(idx int, l Level, nLower int) error {
+	if len(l.Groups) == 0 {
+		return fmt.Errorf("topo: %s: level %d has no groups", s.Name, idx)
+	}
+	seen := make([]int, s.Contexts)
+	for i := range seen {
+		seen[i] = -1
+	}
+	size := len(l.Groups[0])
+	for gi, g := range l.Groups {
+		if len(g) != size {
+			return fmt.Errorf("topo: %s: level %d group %d has %d contexts, others %d",
+				s.Name, idx, gi, len(g), size)
+		}
+		for _, ctx := range g {
+			if ctx < 0 || ctx >= s.Contexts {
+				return fmt.Errorf("topo: %s: level %d group %d contains invalid context %d",
+					s.Name, idx, gi, ctx)
+			}
+			if seen[ctx] != -1 {
+				return fmt.Errorf("topo: %s: context %d in two groups of level %d", s.Name, ctx, idx)
+			}
+			seen[ctx] = gi
+		}
+	}
+	for ctx, gi := range seen {
+		if gi == -1 {
+			return fmt.Errorf("topo: %s: context %d missing from level %d", s.Name, ctx, idx)
+		}
+	}
+	// Nesting: every group of the previous grouped level must land in
+	// exactly one group here.
+	if idx > 0 && nLower > 0 {
+		lower := s.Levels[idx-1]
+		if lower.Groups != nil {
+			for gi, g := range lower.Groups {
+				target := seen[g[0]]
+				for _, ctx := range g[1:] {
+					if seen[ctx] != target {
+						return fmt.Errorf("topo: %s: level %d group %d straddles level %d groups",
+							s.Name, idx-1, gi, idx)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FromSpec validates a spec and builds the linked Topology.
+func FromSpec(spec Spec) (*Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	si := spec.socketLevelIdx()
+
+	t := &Topology{
+		name:      spec.Name,
+		smtWays:   spec.SMTWays,
+		freqGHz:   spec.FreqGHz,
+		levels:    spec.Levels,
+		groups:    make(map[int][]*HWCGroup),
+		socketLat: spec.SocketLat,
+		socketBW:  spec.SocketBW,
+		cache:     spec.Cache,
+		power:     spec.Power,
+		spec:      spec,
+	}
+
+	// Contexts.
+	t.contexts = make([]*HWContext, spec.Contexts)
+	for i := range t.contexts {
+		t.contexts[i] = &HWContext{ID: i}
+	}
+
+	// Nodes.
+	t.nodes = make([]*Node, spec.Nodes)
+	for i := range t.nodes {
+		t.nodes[i] = &Node{ID: i}
+	}
+
+	// Sockets, in the socket level's group order.
+	sockGroups := spec.Levels[si].Groups
+	t.sockets = make([]*Socket, len(sockGroups))
+	ctxSocket := make([]*Socket, spec.Contexts)
+	for id, g := range sockGroups {
+		s := &Socket{
+			HWCGroup: HWCGroup{ID: id, Level: si, Latency: spec.Levels[si].Median},
+		}
+		sorted := append([]int(nil), g...)
+		sort.Ints(sorted)
+		for _, ctx := range sorted {
+			s.Contexts = append(s.Contexts, t.contexts[ctx])
+			t.contexts[ctx].Socket = s
+			ctxSocket[ctx] = s
+		}
+		node := t.nodes[spec.NodeOfSocket[id]]
+		s.Local = node
+		node.Sockets = append(node.Sockets, s)
+		if spec.MemLat != nil {
+			s.MemLat = spec.MemLat[id]
+		}
+		if spec.MemBW != nil {
+			s.MemBW = spec.MemBW[id]
+			node.BW = spec.MemBW[id][node.ID]
+		}
+		if spec.MemLat != nil {
+			node.Lat = spec.MemLat[id][node.ID]
+		}
+		t.sockets[id] = s
+	}
+
+	// Grouped levels below the socket level, bottom-up.
+	var lower []*HWCGroup
+	for li := 0; li < si; li++ {
+		lv := spec.Levels[li]
+		groups := make([]*HWCGroup, len(lv.Groups))
+		// Deterministic ids: order groups by their smallest context.
+		order := make([]int, len(lv.Groups))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return minOf(lv.Groups[order[a]]) < minOf(lv.Groups[order[b]])
+		})
+		for rank, gi := range order {
+			g := lv.Groups[gi]
+			grp := &HWCGroup{ID: rank, Level: li, Latency: lv.Median}
+			sorted := append([]int(nil), g...)
+			sort.Ints(sorted)
+			for _, ctx := range sorted {
+				grp.Contexts = append(grp.Contexts, t.contexts[ctx])
+			}
+			grp.Socket = ctxSocket[sorted[0]]
+			groups[rank] = grp
+		}
+		t.groups[li] = groups
+		// Link children.
+		if li == 0 {
+			lower = groups
+		} else {
+			for _, parent := range groups {
+				for _, child := range lower {
+					if containsCtx(parent, child.Contexts[0].ID) {
+						parent.Children = append(parent.Children, child)
+						child.Parent = parent
+					}
+				}
+			}
+			lower = groups
+		}
+	}
+	// Attach the topmost intra-socket groups to their sockets.
+	for _, child := range lower {
+		s := child.Socket
+		s.Children = append(s.Children, child)
+		child.Parent = &s.HWCGroup
+	}
+
+	// Core groups: the first grouped level if SMT, else synthesized
+	// singletons so placement policies can treat every machine uniformly.
+	if spec.SMTWays > 1 && si == 0 {
+		// Degenerate single-core sockets: each socket is one core.
+		t.cores = make([]*HWCGroup, len(t.sockets))
+		for i, s := range t.sockets {
+			core := &HWCGroup{
+				ID: i, Level: 0, Latency: spec.Levels[0].Median,
+				Contexts: s.Contexts, Socket: s, Parent: &s.HWCGroup,
+			}
+			for _, c := range s.Contexts {
+				c.Core = core
+			}
+			t.cores[i] = core
+		}
+	} else if spec.SMTWays > 1 {
+		t.cores = t.groups[0]
+		for _, core := range t.cores {
+			for _, c := range core.Contexts {
+				c.Core = core
+			}
+		}
+	} else {
+		t.cores = make([]*HWCGroup, spec.Contexts)
+		for i, c := range t.contexts {
+			core := &HWCGroup{
+				ID: i, Level: -1, Latency: 0,
+				Contexts: []*HWContext{c},
+				Socket:   c.Socket,
+				Parent:   &c.Socket.HWCGroup,
+			}
+			c.Core = core
+			t.cores[i] = core
+		}
+	}
+	// Re-number cores globally by (socket, first context).
+	sort.SliceStable(t.cores, func(i, j int) bool {
+		si, sj := t.cores[i].Socket.ID, t.cores[j].Socket.ID
+		if si != sj {
+			return si < sj
+		}
+		return t.cores[i].Contexts[0].ID < t.cores[j].Contexts[0].ID
+	})
+	for i, core := range t.cores {
+		core.ID = i
+	}
+
+	// Interconnects, classified into hop counts by the cross levels.
+	crossLevels := spec.Levels[si+1:]
+	for a := 0; a < len(t.sockets); a++ {
+		for b := 0; b < len(t.sockets); b++ {
+			if a == b {
+				continue
+			}
+			lat := spec.SocketLat[a][b]
+			hops := 1
+			for i, cl := range crossLevels {
+				if lat >= cl.Min && lat <= cl.Max {
+					hops = i + 1
+					break
+				}
+			}
+			ic := &Interconnect{From: t.sockets[a], To: t.sockets[b], Latency: lat, Hops: hops}
+			if spec.SocketBW != nil {
+				ic.BW = spec.SocketBW[a][b]
+			}
+			t.sockets[a].Interconnects = append(t.sockets[a].Interconnects, ic)
+		}
+	}
+
+	t.linkHorizontal()
+	return t, nil
+}
+
+func minOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func containsCtx(g *HWCGroup, ctx int) bool {
+	for _, c := range g.Contexts {
+		if c.ID == ctx {
+			return true
+		}
+	}
+	return false
+}
+
+// linkHorizontal builds the proximity successor chains of Table 1: a
+// context's Next is its SMT sibling, then the next core of the socket, then
+// the next socket; cores chain within and across sockets.
+func (t *Topology) linkHorizontal() {
+	// Context order: socket by socket, core by core, SMT sibling by sibling.
+	var order []*HWContext
+	for _, s := range t.sockets {
+		for _, core := range t.cores {
+			if core.Socket != s {
+				continue
+			}
+			order = append(order, core.Contexts...)
+		}
+	}
+	for i, c := range order {
+		c.Next = order[(i+1)%len(order)]
+	}
+	for i, core := range t.cores {
+		core.Next = t.cores[(i+1)%len(t.cores)]
+	}
+	for i := range t.sockets {
+		t.sockets[i].HWCGroup.Next = &t.sockets[(i+1)%len(t.sockets)].HWCGroup
+	}
+}
+
+// Spec returns the originating spec (for serialization).
+func (t *Topology) Spec() Spec { return t.spec }

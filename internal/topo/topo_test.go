@@ -1,0 +1,485 @@
+package topo
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// ivySpec builds the spec MCTOP-ALG would produce on the paper's Ivy: 2
+// sockets x 10 cores x 2 SMT contexts with Intel-halves numbering, levels
+// 28 (core) / 112 (socket) / 308 (cross).
+func ivySpec() Spec {
+	nCores := 20
+	coreGroups := make([][]int, nCores)
+	for c := 0; c < nCores; c++ {
+		coreGroups[c] = []int{c, c + nCores}
+	}
+	sockGroups := make([][]int, 2)
+	for s := 0; s < 2; s++ {
+		for c := 0; c < 10; c++ {
+			core := s*10 + c
+			sockGroups[s] = append(sockGroups[s], core, core+nCores)
+		}
+	}
+	return Spec{
+		Name: "Ivy", Contexts: 40, Nodes: 2, SMTWays: 2, FreqGHz: 2.8,
+		Levels: []Level{
+			{Name: "core", Kind: LevelGroup, Min: 27, Median: 28, Max: 29, Groups: coreGroups},
+			{Name: "socket", Kind: LevelSocket, Min: 96, Median: 112, Max: 128, Groups: sockGroups},
+			{Name: "cross-1", Kind: LevelCross, Min: 300, Median: 308, Max: 316},
+		},
+		NodeOfSocket: []int{0, 1},
+		SocketLat:    [][]int64{{112, 308}, {308, 112}},
+		SocketBW:     [][]float64{{0, 16}, {16, 0}},
+		MemLat:       [][]int64{{280, 430}, {430, 280}},
+		MemBW:        [][]float64{{15.9, 7.5}, {12.0, 8.37}},
+		Cache:        &CacheInfo{LatL1: 4, LatL2: 12, LatLLC: 42, SizeL1: 32 << 10, SizeL2: 256 << 10, SizeLLC: 25 << 20},
+		Power: &PowerInfo{
+			Idle: 40, Full: 110.1, FirstCtx: 3.2, SecondCtx: 1.46,
+			PerSocketBase: 20.1, PerFirstCtx: 3.2, PerExtraCtx: 1.46, DRAM: 45.25,
+		},
+	}
+}
+
+// opteronSpec builds an 8-socket, 6-core, no-SMT spec with three cross
+// levels (197 / 217 / 300) like the paper's Opteron.
+func opteronSpec() Spec {
+	sockGroups := make([][]int, 8)
+	for s := 0; s < 8; s++ {
+		for c := 0; c < 6; c++ {
+			sockGroups[s] = append(sockGroups[s], s*6+c)
+		}
+	}
+	lat := make([][]int64, 8)
+	direct := func(a, b int) bool {
+		if a/2 == b/2 {
+			return true
+		}
+		return a%2 == b%2
+	}
+	for a := 0; a < 8; a++ {
+		lat[a] = make([]int64, 8)
+		for b := 0; b < 8; b++ {
+			switch {
+			case a == b:
+				lat[a][b] = 117
+			case a/2 == b/2:
+				lat[a][b] = 197
+			case direct(a, b):
+				lat[a][b] = 217
+			default:
+				lat[a][b] = 300
+			}
+		}
+	}
+	return Spec{
+		Name: "Opteron", Contexts: 48, Nodes: 8, SMTWays: 1, FreqGHz: 2.1,
+		Levels: []Level{
+			{Name: "socket", Kind: LevelSocket, Min: 109, Median: 117, Max: 125, Groups: sockGroups},
+			{Name: "mcm", Kind: LevelCross, Min: 194, Median: 197, Max: 200},
+			{Name: "direct", Kind: LevelCross, Min: 214, Median: 217, Max: 220},
+			{Name: "twohop", Kind: LevelCross, Min: 297, Median: 300, Max: 303},
+		},
+		NodeOfSocket: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		SocketLat:    lat,
+	}
+}
+
+func TestFromSpecIvy(t *testing.T) {
+	top, err := FromSpec(ivySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumHWContexts() != 40 || top.NumCores() != 20 || top.NumSockets() != 2 || top.NumNodes() != 2 {
+		t.Fatalf("dims: %d/%d/%d/%d", top.NumHWContexts(), top.NumCores(), top.NumSockets(), top.NumNodes())
+	}
+	if !top.HasSMT() || top.SMTWays() != 2 {
+		t.Error("Ivy should have 2-way SMT")
+	}
+	// Contexts 0 and 20 share a core; 0 and 1 don't.
+	if top.Context(0).Core != top.Context(20).Core {
+		t.Error("ctx 0 and 20 should share a core")
+	}
+	if top.Context(0).Core == top.Context(1).Core {
+		t.Error("ctx 0 and 1 should not share a core")
+	}
+	// Socket membership.
+	if top.Context(9).Socket.ID != 0 || top.Context(10).Socket.ID != 1 {
+		t.Error("socket membership wrong")
+	}
+	if top.Context(29).Socket.ID != 0 || top.Context(30).Socket.ID != 1 {
+		t.Error("second-half socket membership wrong")
+	}
+}
+
+func TestGetLatency(t *testing.T) {
+	top, err := FromSpec(ivySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, y int
+		want int64
+	}{
+		{0, 0, 0},
+		{0, 20, 28},  // same core
+		{0, 1, 112},  // same socket
+		{0, 10, 308}, // cross socket
+		{25, 6, 112}, // same socket via second halves
+	}
+	for _, c := range cases {
+		if got := top.GetLatency(c.x, c.y); got != c.want {
+			t.Errorf("GetLatency(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+		if got := top.GetLatency(c.y, c.x); got != c.want {
+			t.Errorf("GetLatency(%d,%d) not symmetric", c.y, c.x)
+		}
+	}
+	if top.GetLatency(0, 99) != -1 {
+		t.Error("out-of-range context should yield -1")
+	}
+}
+
+func TestGetLocalNodeAndCores(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	if n := top.GetLocalNode(0); n == nil || n.ID != 0 {
+		t.Errorf("local node of ctx 0 = %v", n)
+	}
+	if n := top.GetLocalNode(15); n == nil || n.ID != 1 {
+		t.Errorf("local node of ctx 15 = %v", n)
+	}
+	cores := top.SocketGetCores(top.Socket(0))
+	if len(cores) != 10 {
+		t.Fatalf("socket 0 has %d cores", len(cores))
+	}
+	for _, c := range cores {
+		if len(c.Contexts) != 2 {
+			t.Errorf("core %d has %d contexts", c.ID, len(c.Contexts))
+		}
+	}
+}
+
+func TestNoSMTSynthesizedCores(t *testing.T) {
+	top, err := FromSpec(opteronSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.HasSMT() {
+		t.Error("Opteron has no SMT")
+	}
+	if top.NumCores() != 48 {
+		t.Errorf("cores = %d, want 48 (one per context)", top.NumCores())
+	}
+	if top.GetLatency(0, 1) != 117 {
+		t.Errorf("intra = %d", top.GetLatency(0, 1))
+	}
+	if top.GetLatency(0, 6) != 197 {
+		t.Errorf("MCM pair = %d", top.GetLatency(0, 6))
+	}
+	if top.GetLatency(0, 12) != 217 {
+		t.Errorf("direct = %d", top.GetLatency(0, 12))
+	}
+	if top.GetLatency(0, 18) != 300 {
+		t.Errorf("two-hop = %d", top.GetLatency(0, 18))
+	}
+}
+
+func TestInterconnectHops(t *testing.T) {
+	top, _ := FromSpec(opteronSpec())
+	s0 := top.Socket(0)
+	if len(s0.Interconnects) != 7 {
+		t.Fatalf("socket 0 has %d interconnects", len(s0.Interconnects))
+	}
+	for _, ic := range s0.Interconnects {
+		wantHops := 1
+		if ic.Latency == 300 {
+			wantHops = 3 // third cross level
+		} else if ic.Latency == 217 {
+			wantHops = 2
+		}
+		_ = wantHops
+	}
+	// MCM sibling is level-1 cross (hops 1), two-hop pairs map to the last
+	// cross level.
+	for _, ic := range s0.Interconnects {
+		switch ic.To.ID {
+		case 1:
+			if ic.Hops != 1 {
+				t.Errorf("0-1 hops = %d", ic.Hops)
+			}
+		case 3, 5, 7:
+			if ic.Hops != 3 {
+				t.Errorf("0-%d hops = %d, want 3 (third cross level)", ic.To.ID, ic.Hops)
+			}
+		}
+	}
+}
+
+func TestMaxLatency(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	if got := top.MaxLatency(); got != 308 {
+		t.Errorf("MaxLatency = %d", got)
+	}
+	if got := top.MaxLatencyBetween([]int{0, 1, 2}); got != 112 {
+		t.Errorf("MaxLatencyBetween intra = %d", got)
+	}
+	if got := top.MaxLatencyBetween([]int{0, 20}); got != 28 {
+		t.Errorf("MaxLatencyBetween core = %d", got)
+	}
+	if got := top.MaxLatencyBetween([]int{0, 1, 30}); got != 308 {
+		t.Errorf("MaxLatencyBetween cross = %d", got)
+	}
+}
+
+func TestSocketOrderings(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	byBW := top.SocketsByLocalBW()
+	if byBW[0].ID != 0 || byBW[1].ID != 1 {
+		t.Errorf("SocketsByLocalBW order: %d, %d", byBW[0].ID, byBW[1].ID)
+	}
+	a, b := top.MinLatencyPair()
+	if a == nil || b == nil || a.ID == b.ID {
+		t.Error("MinLatencyPair invalid")
+	}
+	a, b = top.MaxBWPair()
+	if a == nil || b == nil {
+		t.Error("MaxBWPair invalid")
+	}
+
+	opt, _ := FromSpec(opteronSpec())
+	near := opt.SocketsByLatencyFrom(0)
+	if near[0].ID != 1 {
+		t.Errorf("closest socket to 0 = %d, want 1 (MCM sibling)", near[0].ID)
+	}
+	if near[len(near)-1].ID%2 == 0 {
+		t.Errorf("farthest socket to 0 = %d, want an odd (two-hop) socket", near[len(near)-1].ID)
+	}
+}
+
+func TestContextsByLatencyFrom(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	order := top.ContextsByLatencyFrom(0)
+	if len(order) != 39 {
+		t.Fatalf("got %d contexts", len(order))
+	}
+	if order[0] != 20 {
+		t.Errorf("first victim = %d, want SMT sibling 20", order[0])
+	}
+	// All same-socket contexts come before any cross-socket one.
+	crossSeen := false
+	for _, id := range order {
+		cross := top.Context(id).Socket.ID != 0
+		if cross {
+			crossSeen = true
+		} else if crossSeen {
+			t.Fatalf("same-socket context %d after a cross-socket one", id)
+		}
+	}
+}
+
+func TestHorizontalLinks(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	// Next of ctx 0 is its SMT sibling.
+	if top.Context(0).Next.ID != 20 {
+		t.Errorf("ctx 0 Next = %d, want 20", top.Context(0).Next.ID)
+	}
+	// Walking Next from any context covers the whole machine.
+	seen := map[int]bool{}
+	c := top.Context(5)
+	for i := 0; i < top.NumHWContexts(); i++ {
+		seen[c.ID] = true
+		c = c.Next
+	}
+	if len(seen) != 40 {
+		t.Errorf("Next chain covers %d contexts", len(seen))
+	}
+	// Core chain.
+	core := top.Cores()[0]
+	count := 0
+	for n := core; ; n = n.Next {
+		count++
+		if n.Next == core {
+			break
+		}
+	}
+	if count != 20 {
+		t.Errorf("core chain covers %d cores", count)
+	}
+}
+
+func TestPowerEstimate(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	var ctxs []int
+	for c := 0; c < 10; c++ {
+		ctxs = append(ctxs, c, c+20) // all of socket 0
+	}
+	for c := 10; c < 15; c++ {
+		ctxs = append(ctxs, c, c+20) // half of socket 1
+	}
+	per, total := top.PowerEstimate(ctxs, false)
+	if per[0] < 66.6 || per[0] > 66.8 || per[1] < 43.3 || per[1] > 43.5 {
+		t.Errorf("per-socket = %.1f/%.1f, want 66.7/43.4", per[0], per[1])
+	}
+	if total < 110 || total > 110.2 {
+		t.Errorf("total = %.1f", total)
+	}
+	// No power info: zero.
+	opt, _ := FromSpec(opteronSpec())
+	_, total = opt.PowerEstimate(ctxs, true)
+	if total != 0 {
+		t.Errorf("Opteron power = %g, want 0 (unavailable)", total)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{ivySpec(), opteronSpec()} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, &spec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", spec.Name, err)
+		}
+		if !reflect.DeepEqual(&spec, got) {
+			t.Errorf("%s: round trip mismatch:\nin:  %+v\nout: %+v", spec.Name, spec, *got)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ivy.mct")
+	top, _ := FromSpec(ivySpec())
+	if err := SaveFile(path, top); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumHWContexts() != 40 || loaded.GetLatency(0, 20) != 28 {
+		t.Error("loaded topology differs")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not mctop\n",
+		"mctop 1\nname x\nbogus 4\nend\n",
+		"mctop 1\nname x\nlevel 3 group a 1 2 3\nend\n",
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("Decode(%q) should fail", c)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	mutate := func(f func(*Spec)) error {
+		s := ivySpec()
+		f(&s)
+		_, err := FromSpec(s)
+		return err
+	}
+	if err := mutate(func(s *Spec) { s.Levels[0].Groups[0] = []int{0, 0} }); err == nil {
+		t.Error("duplicate context in group should fail")
+	}
+	if err := mutate(func(s *Spec) { s.Levels[0].Groups[0] = []int{0, 99} }); err == nil {
+		t.Error("out-of-range context should fail")
+	}
+	if err := mutate(func(s *Spec) {
+		// Straddle: put ctx 0's core across two sockets.
+		s.Levels[1].Groups[0][0] = 10
+		s.Levels[1].Groups[1][0] = 0
+	}); err == nil {
+		t.Error("core straddling sockets should fail")
+	}
+	if err := mutate(func(s *Spec) { s.SocketLat[0][1] = 999 }); err == nil {
+		t.Error("asymmetric socket latency should fail")
+	}
+	if err := mutate(func(s *Spec) { s.NodeOfSocket = []int{0, 0} }); err == nil {
+		t.Error("node without socket should fail")
+	}
+	if err := mutate(func(s *Spec) { s.Levels[1].Kind = LevelGroup }); err == nil {
+		t.Error("spec without socket level should fail")
+	}
+	if err := mutate(func(s *Spec) { s.Levels[2].Median = 50 }); err == nil {
+		t.Error("non-ascending levels should fail")
+	}
+	if err := mutate(func(s *Spec) {
+		s.Levels[0].Groups = s.Levels[0].Groups[:19]
+	}); err == nil {
+		t.Error("missing context should fail")
+	}
+}
+
+func TestDotOutputs(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	intra := top.DotIntraSocket(0)
+	if !strings.Contains(intra, "Socket 0 - 112 cycles") {
+		t.Error("intra graph missing socket label")
+	}
+	if !strings.Contains(intra, "Node 0") || !strings.Contains(intra, "Node 1") {
+		t.Error("intra graph missing nodes")
+	}
+	if !strings.Contains(intra, "gray80") {
+		t.Error("intra graph should shade the local node")
+	}
+	cross := top.DotCrossSocket()
+	if !strings.Contains(cross, "s0 -- s1") {
+		t.Error("cross graph missing link")
+	}
+	if !strings.Contains(cross, "308 cy") {
+		t.Error("cross graph missing latency label")
+	}
+	opt, _ := FromSpec(opteronSpec())
+	crossOpt := opt.DotCrossSocket()
+	if !strings.Contains(crossOpt, "lvl 3") {
+		t.Errorf("Opteron cross graph should note the non-direct level:\n%s", crossOpt)
+	}
+	if top.DotIntraSocket(99) != "" {
+		t.Error("invalid socket should render empty")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	s := top.String()
+	for _, want := range []string{"MCTOP Ivy", "40 contexts", "2 sockets", "socket latencies"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompareOSAgreement(t *testing.T) {
+	top, _ := FromSpec(ivySpec())
+	coreOf := make([]int, 40)
+	sockOf := make([]int, 40)
+	for c := 0; c < 40; c++ {
+		coreOf[c] = c % 20
+		sockOf[c] = (c % 20) / 10
+	}
+	diffs := top.CompareOS(coreOf, sockOf, []int{0, 1})
+	if len(diffs) != 0 {
+		t.Errorf("expected agreement, got %v", diffs)
+	}
+	// Wrong node mapping must be reported (the Opteron scenario).
+	diffs = top.CompareOS(coreOf, sockOf, []int{1, 0})
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "node mapping") {
+		t.Errorf("expected node-mapping divergence, got %v", diffs)
+	}
+	// Wrong core grouping must be reported.
+	badCore := append([]int(nil), coreOf...)
+	badCore[0] = 5
+	diffs = top.CompareOS(badCore, sockOf, []int{0, 1})
+	if len(diffs) == 0 {
+		t.Error("expected core-grouping divergence")
+	}
+}

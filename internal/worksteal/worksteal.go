@@ -1,0 +1,199 @@
+// Package worksteal implements the topology-aware work-stealing policy of
+// Section 5 of the MCTOP paper: "if the local work queue is empty, steal
+// from the queue of worker threads that are the closest in terms of
+// latency; if unsuccessful, continue with the contexts that are the next
+// closest."
+//
+// Victims are therefore ordered per worker by MCTOP's measured
+// communication latencies — SMT sibling first, then the cores of the same
+// socket, then ever more remote sockets.
+package worksteal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/place"
+	"repro/internal/topo"
+)
+
+// Task is one unit of work.
+type Task func()
+
+// Pool is a work-stealing executor whose workers are pinned by an
+// MCTOP-PLACE placement and steal in latency order.
+type Pool struct {
+	t       *topo.Topology
+	ctxs    []int
+	victims [][]int // per worker: other worker indices, closest first
+
+	// Steals counts successful steals per (thief, victim) pair.
+	Steals [][]int64
+}
+
+// New builds a pool with one worker per slot of the placement.
+func New(t *topo.Topology, pl *place.Placement) (*Pool, error) {
+	ctxs := pl.Contexts()
+	if len(ctxs) == 0 {
+		return nil, fmt.Errorf("worksteal: empty placement")
+	}
+	p := &Pool{t: t, ctxs: ctxs}
+	p.victims = make([][]int, len(ctxs))
+	p.Steals = make([][]int64, len(ctxs))
+	for w := range ctxs {
+		p.victims[w] = victimOrder(t, ctxs, w)
+		p.Steals[w] = make([]int64, len(ctxs))
+	}
+	return p, nil
+}
+
+// victimOrder returns the other workers ordered by communication latency
+// from worker w (closest first); unpinned slots fall to the end in index
+// order.
+func victimOrder(t *topo.Topology, ctxs []int, w int) []int {
+	type cand struct {
+		idx int
+		lat int64
+	}
+	var cs []cand
+	for i, c := range ctxs {
+		if i == w {
+			continue
+		}
+		lat := int64(1 << 50)
+		if ctxs[w] >= 0 && c >= 0 {
+			lat = t.GetLatency(ctxs[w], c)
+		}
+		cs = append(cs, cand{i, lat})
+	}
+	// Insertion sort by (latency, index): tiny n, deterministic.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && (cs[j].lat < cs[j-1].lat ||
+			(cs[j].lat == cs[j-1].lat && cs[j].idx < cs[j-1].idx)); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// VictimOrder exposes worker w's steal order (worker indices).
+func (p *Pool) VictimOrder(w int) []int {
+	return append([]int(nil), p.victims[w]...)
+}
+
+// NumWorkers returns the pool size.
+func (p *Pool) NumWorkers() int { return len(p.ctxs) }
+
+// deque is a mutex-protected work queue: owner pops from the tail, thieves
+// steal from the head.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (d *deque) push(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks = d.tasks[:n-1]
+	return t
+}
+
+func (d *deque) stealHead() Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t
+}
+
+// Run executes all tasks. initial[w] lists the tasks seeded into worker
+// w's deque (use Distribute for an even split). Run returns when every
+// task has finished.
+func (p *Pool) Run(initial [][]Task) error {
+	if len(initial) != len(p.ctxs) {
+		return fmt.Errorf("worksteal: %d task lists for %d workers", len(initial), len(p.ctxs))
+	}
+	deques := make([]*deque, len(p.ctxs))
+	var remaining int64
+	for w := range deques {
+		deques[w] = &deque{}
+		for _, t := range initial[w] {
+			deques[w].push(t)
+			remaining++
+		}
+	}
+	var wg sync.WaitGroup
+	for w := range deques {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for atomic.LoadInt64(&remaining) > 0 {
+				if t := deques[w].popTail(); t != nil {
+					t()
+					atomic.AddInt64(&remaining, -1)
+					continue
+				}
+				// Local queue empty: steal in latency order.
+				stole := false
+				for _, v := range p.victims[w] {
+					if t := deques[v].stealHead(); t != nil {
+						atomic.AddInt64(&p.Steals[w][v], 1)
+						t()
+						atomic.AddInt64(&remaining, -1)
+						stole = true
+						break
+					}
+				}
+				if !stole {
+					// Nothing to steal anywhere right now; if work is
+					// still in flight elsewhere, yield and retry.
+					if atomic.LoadInt64(&remaining) <= 0 {
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Distribute splits tasks across the pool's workers round-robin.
+func (p *Pool) Distribute(tasks []Task) [][]Task {
+	out := make([][]Task, len(p.ctxs))
+	for i, t := range tasks {
+		w := i % len(p.ctxs)
+		out[w] = append(out[w], t)
+	}
+	return out
+}
+
+// TotalSteals sums all successful steals.
+func (p *Pool) TotalSteals() int64 {
+	var sum int64
+	for _, row := range p.Steals {
+		for _, v := range row {
+			sum += atomic.LoadInt64(&v)
+		}
+	}
+	return sum
+}

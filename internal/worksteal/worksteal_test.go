@@ -1,0 +1,168 @@
+package worksteal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mctopalg"
+	"repro/internal/place"
+	"repro/internal/plugins"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+var (
+	topoOnce sync.Once
+	ivyTopo  *topo.Topology
+)
+
+func ivy(t *testing.T) *topo.Topology {
+	t.Helper()
+	topoOnce.Do(func() {
+		m, err := machine.NewSim(sim.Ivy(), 61)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := mctopalg.DefaultOptions()
+		o.Reps = 51
+		res, err := mctopalg.Infer(m, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivyTopo, err = plugins.Enrich(m, res.Topology, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return ivyTopo
+}
+
+func pool(t *testing.T, n int) *Pool {
+	t.Helper()
+	tp := ivy(t)
+	pl, err := place.New(tp, place.ConHWC, place.Options{NThreads: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(tp, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVictimOrderLatency: worker 0 (ctx 0) must prefer its SMT sibling
+// (ctx 20, slot 1 under CON_HWC) and only then other cores; cross-socket
+// victims come last.
+func TestVictimOrderLatency(t *testing.T) {
+	tp := ivy(t)
+	pl, _ := place.New(tp, place.ConHWC, place.Options{NThreads: 30})
+	p, _ := New(tp, pl)
+	ctxs := pl.Contexts()
+	order := p.VictimOrder(0)
+	if len(order) != 29 {
+		t.Fatalf("victim count = %d", len(order))
+	}
+	// First victim shares the core with worker 0.
+	if tp.Context(ctxs[order[0]]).Core != tp.Context(ctxs[0]).Core {
+		t.Errorf("first victim ctx %d not the SMT sibling", ctxs[order[0]])
+	}
+	// All same-socket victims precede all cross-socket victims.
+	crossSeen := false
+	for _, v := range order {
+		cross := tp.Context(ctxs[v]).Socket != tp.Context(ctxs[0]).Socket
+		if cross {
+			crossSeen = true
+		} else if crossSeen {
+			t.Fatalf("same-socket victim after cross-socket one: %v", order)
+		}
+	}
+}
+
+func TestAllTasksRun(t *testing.T) {
+	p := pool(t, 8)
+	var counter int64
+	var tasks []Task
+	for i := 0; i < 5000; i++ {
+		tasks = append(tasks, func() { atomic.AddInt64(&counter, 1) })
+	}
+	if err := p.Run(p.Distribute(tasks)); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 5000 {
+		t.Errorf("ran %d tasks, want 5000", counter)
+	}
+}
+
+// TestImbalanceTriggersSteals: all work seeded into one worker forces the
+// others to steal, and the closest victims serve the most thieves.
+func TestImbalanceTriggersSteals(t *testing.T) {
+	p := pool(t, 8)
+	var counter int64
+	initial := make([][]Task, p.NumWorkers())
+	for i := 0; i < 4000; i++ {
+		initial[0] = append(initial[0], func() {
+			atomic.AddInt64(&counter, 1)
+			// Enough work per task that thieves get a chance.
+			s := 0
+			for k := 0; k < 2000; k++ {
+				s += k
+			}
+			_ = s
+		})
+	}
+	if err := p.Run(initial); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 4000 {
+		t.Fatalf("ran %d tasks", counter)
+	}
+	if p.TotalSteals() == 0 {
+		t.Error("expected steals under total imbalance")
+	}
+	// Every successful steal by a non-owner must have victim 0 (the only
+	// worker that ever had work).
+	for w := 1; w < p.NumWorkers(); w++ {
+		for v, c := range p.Steals[w] {
+			if c > 0 && v != 0 {
+				t.Errorf("worker %d stole %d tasks from %d (only 0 had work)", w, c, v)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := pool(t, 4)
+	if err := p.Run(make([][]Task, 2)); err == nil {
+		t.Error("mismatched initial lists should fail")
+	}
+	tp := ivy(t)
+	pl, _ := place.New(tp, place.None, place.Options{NThreads: 0})
+	empty, _ := place.New(tp, place.ConHWC, place.Options{NThreads: 1})
+	if _, err := New(tp, empty); err != nil {
+		t.Errorf("single worker pool: %v", err)
+	}
+	_ = pl
+}
+
+func TestUnpinnedPlacement(t *testing.T) {
+	tp := ivy(t)
+	pl, _ := place.New(tp, place.None, place.Options{NThreads: 4})
+	p, err := New(tp, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter int64
+	var tasks []Task
+	for i := 0; i < 100; i++ {
+		tasks = append(tasks, func() { atomic.AddInt64(&counter, 1) })
+	}
+	if err := p.Run(p.Distribute(tasks)); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 100 {
+		t.Errorf("ran %d", counter)
+	}
+}

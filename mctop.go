@@ -1,0 +1,168 @@
+// Package mctop is a Go reproduction of "Abstracting Multi-Core Topologies
+// with MCTOP" (Chatzopoulos, Guerraoui, Harris, Trigonakis — EuroSys 2017).
+//
+// MCTOP is a portable multi-core topology abstraction enriched with
+// measured communication latencies, memory latencies and bandwidths, cache
+// parameters and power figures. It is generated automatically by
+// MCTOP-ALG, which infers the machine's structure from nothing but
+// context-to-context latency measurements, exploiting the determinism of
+// cache-coherence protocols.
+//
+// This package is the library facade. The heavy lifting lives in the
+// internal packages:
+//
+//   - internal/sim       — deterministic simulators of the paper's five
+//     machines (Ivy, Westmere, Haswell, Opteron, SPARC T4-4)
+//   - internal/mesi      — the MESI coherence engine beneath the simulator
+//   - internal/machine   — the OS-facing measurement interface (simulator
+//     and best-effort Linux host backends)
+//   - internal/mctopalg  — the inference algorithm (Section 3)
+//   - internal/topo      — the MCTOP representation, description files,
+//     Graphviz output (Section 2)
+//   - internal/plugins   — memory/cache/power enrichment (Section 4)
+//   - internal/place     — MCTOP-PLACE, the 12 placement policies
+//     (Section 6)
+//   - internal/locks, internal/contend, internal/msort, internal/reduce,
+//     internal/mapreduce, internal/graph, internal/omp,
+//     internal/worksteal — the portable-optimization case studies
+//     (Sections 5 and 7)
+//
+// Quick start:
+//
+//	top, err := mctop.InferPlatform("Ivy", 42)   // simulate + infer + enrich
+//	node := top.GetLocalNode(0)                  // query the abstraction
+//	pl, err := mctop.Place(top, "CON_HWC", 30)   // place 30 threads
+//	fmt.Print(pl)                                // the Figure 7 report
+package mctop
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mctopalg"
+	"repro/internal/place"
+	"repro/internal/plugins"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Topology is the MCTOP abstraction (see internal/topo for the full API).
+type Topology = topo.Topology
+
+// Placement is an MCTOP-PLACE thread placement (see internal/place).
+type Placement = place.Placement
+
+// InferResult carries an inference's topology and the intermediate
+// artifacts of the algorithm's four steps.
+type InferResult = mctopalg.Result
+
+// Platforms lists the names of the five simulated machines of the paper's
+// evaluation.
+func Platforms() []string {
+	var out []string
+	for _, p := range sim.Platforms() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Options tunes inference; see mctopalg.Options. The zero value uses the
+// paper's defaults (n = 2000 repetitions, 7%-14% stdev thresholds).
+type Options = mctopalg.Options
+
+// InferPlatform simulates one of the paper's machines with the given noise
+// seed, runs MCTOP-ALG on it, enriches the result with all four plugins,
+// and returns the topology.
+func InferPlatform(name string, seed uint64) (*Topology, error) {
+	t, _, err := InferPlatformDetailed(name, seed, Options{Reps: 201})
+	return t, err
+}
+
+// InferPlatformDetailed is InferPlatform with explicit options and access
+// to the intermediate artifacts (the latency table, clusters, normalized
+// table — everything Figure 6 shows).
+func InferPlatformDetailed(name string, seed uint64, opt Options) (*Topology, *InferResult, error) {
+	p, err := sim.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := machine.NewSim(p, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := mctopalg.Infer(m, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	enriched, err := plugins.Enrich(m, res.Topology, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Topology = enriched
+	return enriched, res, nil
+}
+
+// InferHost runs MCTOP-ALG on the real host, best effort: the Go runtime
+// adds far more noise than the paper's C implementation tolerates, so the
+// result is illustrative (and may fail with a clustering error on noisy
+// machines — retry, as Section 3.5 prescribes).
+func InferHost(opt Options) (*Topology, *InferResult, error) {
+	m := machine.NewHost()
+	res, err := mctopalg.Infer(m, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Topology, res, nil
+}
+
+// Load reads a topology from an MCTOP description file.
+func Load(path string) (*Topology, error) { return topo.LoadFile(path) }
+
+// Save writes a topology's description file ("created once, then used to
+// load the topology", Section 2).
+func Save(path string, t *Topology) error { return topo.SaveFile(path, t) }
+
+// Place builds a thread placement using one of the 12 policies of Table 2,
+// named as in the paper (e.g. "CON_HWC", "RR_CORE", "POWER"); nThreads = 0
+// uses every context the policy allows.
+func Place(t *Topology, policy string, nThreads int) (*Placement, error) {
+	pol, err := place.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	return place.New(t, pol, place.Options{NThreads: nThreads})
+}
+
+// PolicyNames lists the 12 placement policies.
+func PolicyNames() []string {
+	var out []string
+	for _, p := range place.Policies() {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+// Validate cross-checks a topology against an OS view (Section 3.6) and
+// returns human-readable divergences; empty means agreement.
+func Validate(t *Topology, osCoreOfCtx, osSocketOfCtx, osNodeOfSocket []int) []string {
+	return t.CompareOS(osCoreOfCtx, osSocketOfCtx, osNodeOfSocket)
+}
+
+// Describe renders the textual summary plus both Graphviz graphs of a
+// topology (the visualization of Figures 1-3).
+func Describe(t *Topology) string {
+	out := t.String()
+	out += "\n--- intra-socket graph (socket 0) ---\n" + t.DotIntraSocket(0)
+	out += "\n--- cross-socket graph ---\n" + t.DotCrossSocket()
+	return out
+}
+
+// MustInfer is InferPlatform for examples and tests that cannot proceed
+// without a topology.
+func MustInfer(name string, seed uint64) *Topology {
+	t, err := InferPlatform(name, seed)
+	if err != nil {
+		panic(fmt.Sprintf("mctop: inferring %s: %v", name, err))
+	}
+	return t
+}
