@@ -1,0 +1,275 @@
+// Command mctopd is the MCTOP topology daemon: a long-running HTTP server
+// that answers topology and placement queries over JSON, backed by the
+// registry's memoization — the paper's "infer once, reuse everywhere"
+// deployment model (Section 2) turned into a service. The first query for a
+// (platform, seed, options) triple runs MCTOP-ALG; every later query is a
+// cache hit, and concurrent first queries collapse into one inference.
+//
+// Usage:
+//
+//	mctopd -addr :8077 -cache 256
+//
+// Endpoints:
+//
+//	GET /healthz                          liveness probe
+//	GET /v1/platforms                     the five simulated platforms
+//	GET /v1/policies                      the 12 placement policies
+//	GET /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
+//	GET /v1/place?platform=Ivy&seed=42&policy=RR_CORE&threads=8
+//	GET /v1/stats                         registry hit/miss/eviction counters
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	mctop "repro"
+	"repro/internal/place"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8077", "listen address")
+		cache = flag.Int("cache", 256, "maximum cached topologies + placements (LRU beyond)")
+		reps  = flag.Int("reps", 201, "default repetitions per context pair")
+	)
+	flag.Parse()
+
+	s := newServer(*cache, *reps)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // a cold SPARC inference at paper reps is slow
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("mctopd: serving topology queries on %s (cache %d entries)", *addr, *cache)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// server holds the daemon's registry and defaults; split from main so tests
+// can drive the handlers through httptest.
+type server struct {
+	reg         *mctop.Registry
+	defaultReps int
+}
+
+func newServer(cacheEntries, defaultReps int) *server {
+	return &server{reg: mctop.NewRegistry(cacheEntries), defaultReps: defaultReps}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/platforms", s.handlePlatforms)
+	mux.HandleFunc("/v1/policies", s.handlePolicies)
+	mux.HandleFunc("/v1/topology", s.handleTopology)
+	mux.HandleFunc("/v1/place", s.handlePlace)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok\n"))
+}
+
+func (s *server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"platforms": mctop.Platforms()})
+}
+
+func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"policies": mctop.PolicyNames()})
+}
+
+// query pulls the common platform/seed/options parameters. seed defaults to
+// 42, reps to the daemon default; a missing or unknown platform and every
+// parse error are the client's fault (400).
+func (s *server) query(r *http.Request) (platform string, seed uint64, opt mctop.Options, err error) {
+	q := r.URL.Query()
+	platform = q.Get("platform")
+	known := false
+	for _, p := range mctop.Platforms() {
+		if p == platform {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return "", 0, opt, fmt.Errorf("unknown ?platform=%q (one of: %s)", platform, strings.Join(mctop.Platforms(), ", "))
+	}
+	seed = 42
+	if v := q.Get("seed"); v != "" {
+		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return "", 0, opt, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+	}
+	opt.Reps = s.defaultReps
+	if v := q.Get("reps"); v != "" {
+		reps, perr := strconv.Atoi(v)
+		// The cap bounds the work one GET can demand: inference is
+		// O(N² · reps) and runs to completion once started, beyond any
+		// response timeout. 10000 is 5x the paper's n = 2000.
+		if perr != nil || reps < 1 || reps > 10000 {
+			return "", 0, opt, fmt.Errorf("bad reps %q (want 1..10000)", v)
+		}
+		opt.Reps = reps
+	}
+	return platform, seed, opt, nil
+}
+
+// topologyResponse is the JSON view of a topology: the full spec (the same
+// data the .mctop description file carries) plus summary dimensions.
+type topologyResponse struct {
+	Platform string    `json:"platform"`
+	Seed     uint64    `json:"seed"`
+	Contexts int       `json:"contexts"`
+	Cores    int       `json:"cores"`
+	Sockets  int       `json:"sockets"`
+	Nodes    int       `json:"nodes"`
+	SMTWays  int       `json:"smt_ways"`
+	Spec     topo.Spec `json:"spec"`
+	Cached   bool      `json:"cached"`
+	ServedIn string    `json:"served_in"`
+}
+
+func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	platform, seed, opt, err := s.query(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate the format before paying for an inference: a typo must not
+	// cost an O(N²) measurement run.
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "mctop", "dot":
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json, mctop, dot)", format))
+		return
+	}
+	start := time.Now()
+	top, cached, err := s.reg.LookupTopology(platform, seed, opt)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	switch format {
+	case "mctop":
+		// Encode to a buffer first: writing straight to w would commit a
+		// 200 before an encoding failure could surface.
+		var buf bytes.Buffer
+		spec := top.Spec()
+		if err := topo.Encode(&buf, &spec); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(buf.Bytes())
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, top.DotCrossSocket())
+	default: // json
+		writeJSON(w, http.StatusOK, topologyResponse{
+			Platform: platform,
+			Seed:     seed,
+			Contexts: top.NumHWContexts(),
+			Cores:    top.NumCores(),
+			Sockets:  top.NumSockets(),
+			Nodes:    top.NumNodes(),
+			SMTWays:  top.SMTWays(),
+			Spec:     top.Spec(),
+			Cached:   cached,
+			ServedIn: time.Since(start).String(),
+		})
+	}
+}
+
+// placeResponse carries the placement's context assignment plus the derived
+// Figure 7 report.
+type placeResponse struct {
+	Platform     string  `json:"platform"`
+	Seed         uint64  `json:"seed"`
+	Policy       string  `json:"policy"`
+	NThreads     int     `json:"n_threads"`
+	Contexts     []int   `json:"contexts"`
+	NCores       int     `json:"n_cores"`
+	CtxPerSocket []int   `json:"ctx_per_socket"`
+	MaxLatency   int64   `json:"max_latency_cycles"`
+	MinBandwidth float64 `json:"min_bandwidth_gbs"`
+	Report       string  `json:"report"`
+	ServedIn     string  `json:"served_in"`
+}
+
+func (s *server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	platform, seed, opt, err := s.query(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	policy := q.Get("policy")
+	if policy == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?policy= (one of: %s)", strings.Join(mctop.PolicyNames(), ", ")))
+		return
+	}
+	threads := 0
+	if v := q.Get("threads"); v != "" {
+		threads, err = strconv.Atoi(v)
+		if err != nil || threads < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad threads %q", v))
+			return
+		}
+	}
+	start := time.Now()
+	pl, err := s.reg.Place(platform, seed, opt, policy, threads)
+	if err != nil {
+		// Client-correctable placement errors (unknown policy, power
+		// policy without power measurements, unsatisfiable options) are
+		// 400s; inference failures are the server's.
+		if errors.Is(err, place.ErrInvalid) {
+			writeErr(w, http.StatusBadRequest, err)
+		} else {
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, placeResponse{
+		Platform:     platform,
+		Seed:         seed,
+		Policy:       pl.Policy().String(),
+		NThreads:     pl.NThreads(),
+		Contexts:     pl.Contexts(),
+		NCores:       pl.NCores(),
+		CtxPerSocket: pl.CtxPerSocket(),
+		MaxLatency:   pl.MaxLatency(),
+		MinBandwidth: pl.MinBandwidth(),
+		Report:       pl.String(),
+		ServedIn:     time.Since(start).String(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Stats())
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// testServer uses few repetitions so the first (cold) request stays fast;
+// every later request is a registry hit regardless.
+func testServer() *server { return newServer(64, 51) }
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestHealthzAndLists(t *testing.T) {
+	ts := httptest.NewServer(testServer().routes())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	_, body = get(t, ts, "/v1/platforms")
+	var plat struct{ Platforms []string }
+	if err := json.Unmarshal(body, &plat); err != nil {
+		t.Fatal(err)
+	}
+	if len(plat.Platforms) != 5 || plat.Platforms[0] != "Ivy" {
+		t.Fatalf("platforms = %v", plat.Platforms)
+	}
+
+	_, body = get(t, ts, "/v1/policies")
+	var pol struct{ Policies []string }
+	if err := json.Unmarshal(body, &pol); err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Policies) != 12 {
+		t.Fatalf("policies = %v", pol.Policies)
+	}
+}
+
+func TestTopologyEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer().routes())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/v1/topology?platform=Ivy&seed=42&reps=51")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var tr topologyResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contexts != 40 || tr.Sockets != 2 || tr.SMTWays != 2 {
+		t.Fatalf("Ivy dims wrong: %+v", tr)
+	}
+	if tr.Cached {
+		t.Error("first query reported cached=true")
+	}
+
+	// Second query: same key, must be served from cache.
+	_, body = get(t, ts, "/v1/topology?platform=Ivy&seed=42&reps=51")
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Cached {
+		t.Error("second query was not a cache hit")
+	}
+
+	// The mctop format is a loadable description file.
+	resp, body = get(t, ts, "/v1/topology?platform=Ivy&seed=42&reps=51&format=mctop")
+	if resp.StatusCode != 200 {
+		t.Fatalf("mctop format status %d", resp.StatusCode)
+	}
+	spec, err := topo.Decode(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("served description file does not decode: %v", err)
+	}
+	if spec.Contexts != 40 {
+		t.Fatalf("decoded contexts = %d", spec.Contexts)
+	}
+
+	// Errors: missing platform, unknown platform, bad format.
+	if resp, _ := get(t, ts, "/v1/topology"); resp.StatusCode != 400 {
+		t.Errorf("missing platform: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/topology?platform=Nope&reps=51"); resp.StatusCode != 400 {
+		t.Errorf("unknown platform: status %d, want 400 (client error)", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/topology?platform=Ivy&reps=51&format=yaml"); resp.StatusCode != 400 {
+		t.Errorf("bad format: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPlaceEndpointAndStats(t *testing.T) {
+	ts := httptest.NewServer(testServer().routes())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/v1/place?platform=Ivy&seed=42&reps=51&policy=CON_HWC&threads=30")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr placeResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.NThreads != 30 || pr.NCores != 15 {
+		t.Fatalf("CON_HWC 30 threads: %+v", pr)
+	}
+	if len(pr.Contexts) != 30 {
+		t.Fatalf("contexts = %v", pr.Contexts)
+	}
+	if !strings.Contains(pr.Report, "MCTOP_PLACE_CON_HWC") {
+		t.Error("report missing policy name")
+	}
+
+	if resp, _ := get(t, ts, "/v1/place?platform=Ivy&reps=51&policy=NOPE"); resp.StatusCode != 400 {
+		t.Errorf("unknown policy: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/place?platform=Ivy&reps=51"); resp.StatusCode != 400 {
+		t.Errorf("missing policy: status %d, want 400", resp.StatusCode)
+	}
+	// SPARC has no power measurements: a client-correctable placement
+	// error, not a server fault.
+	if resp, _ := get(t, ts, "/v1/place?platform=SPARC&reps=51&policy=POWER"); resp.StatusCode != 400 {
+		t.Errorf("power policy without power data: status %d, want 400", resp.StatusCode)
+	}
+	// Unbounded work requests are rejected up front.
+	if resp, _ := get(t, ts, "/v1/topology?platform=Ivy&reps=2000000000"); resp.StatusCode != 400 {
+		t.Errorf("oversized reps: status %d, want 400", resp.StatusCode)
+	}
+
+	// Stats: one inference for Ivy (shared by its place queries) and one
+	// for the SPARC power probe; the rejected requests cost nothing.
+	_, body = get(t, ts, "/v1/stats")
+	var st struct{ Inferences, Entries int64 }
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Inferences != 2 {
+		t.Errorf("inferences = %d, want 2 (placements must reuse cached topologies)", st.Inferences)
+	}
+}

@@ -68,6 +68,23 @@ type OSView struct {
 	NodeOfSocket []int // socket -> OS-claimed local memory node
 }
 
+// Forker is the optional extension implemented by machines whose pair
+// measurements can run concurrently. ForkPair returns an independent machine
+// dedicated to measuring the (x, y) context pair: it shares no mutable state
+// with the parent or with other forks, and its noise stream is a pure
+// function of (parent seed, x, y). MCTOP-ALG uses forks to parallelize its
+// O(N²) measurement phase with results byte-identical to a sequential run —
+// pair values cannot depend on scheduling order because every pair observes
+// its own deterministic stream.
+//
+// Real hosts must NOT implement Forker: concurrent pair measurements perturb
+// each other through shared caches, interconnect and DVFS (Section 3.5:
+// "using more threads increases variability"). The simulator, which models
+// exactly one pair at a time, can.
+type Forker interface {
+	ForkPair(xCtx, yCtx int) (Machine, error)
+}
+
 // MemoryProber is the optional extension used by the memory latency,
 // memory bandwidth and cache plugins (Section 4). The simulator implements
 // it; a host backend may not.

@@ -18,6 +18,7 @@ var (
 	_ MemoryProber = (*SimMachine)(nil)
 	_ PowerProber  = (*SimMachine)(nil)
 	_ FrequencyGHz = (*SimMachine)(nil)
+	_ Forker       = (*SimMachine)(nil)
 )
 
 // NewSim creates a simulator-backed machine for the given platform and
@@ -41,6 +42,20 @@ func (m *SimMachine) NumNodes() int { return m.S.Platform().NumNodes() }
 
 // FreqMaxGHz returns the platform's maximum frequency.
 func (m *SimMachine) FreqMaxGHz() float64 { return m.S.Platform().FreqMaxGHz }
+
+// ForkPair implements Forker: it builds a fresh simulator for the same
+// platform whose noise seed is derived from (base seed, x, y), so the pair's
+// measurement is independent of every other pair and of execution order. The
+// platform description is shared (it is immutable after construction); all
+// mutable simulator state — coherence engine, DVFS ramps, noise counter — is
+// private to the fork.
+func (m *SimMachine) ForkPair(xCtx, yCtx int) (Machine, error) {
+	s, err := sim.New(m.S.Platform(), sim.PairSeed(m.S.Seed(), xCtx, yCtx))
+	if err != nil {
+		return nil, err
+	}
+	return &SimMachine{S: s}, nil
+}
 
 type simThread struct{ t *sim.Thread }
 

@@ -22,7 +22,10 @@ package mctopalg
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -47,6 +50,15 @@ type Options struct {
 	// SkipMemoryProbe disables the local-node assignment probe even when
 	// the machine supports it (sockets then map to nodes by index).
 	SkipMemoryProbe bool
+	// Parallelism bounds the worker pool of the measurement phase on
+	// machines implementing machine.Forker (0 = GOMAXPROCS, 1 = one
+	// worker). The inferred topology is byte-identical for every value:
+	// each pair is measured on its own fork whose noise stream depends
+	// only on (seed, x, y), and results merge in canonical pair order —
+	// a Forker machine takes the forked path even at Parallelism 1.
+	// Machines without Forker always measure sequentially through the
+	// parent's single noise stream.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's default parameters.
@@ -76,11 +88,26 @@ func (o *Options) fillDefaults() {
 		o.MaxRetries = d.MaxRetries
 	}
 	if o.Cluster.RelGap <= 0 {
-		o.Cluster = d.Cluster
+		o.Cluster.RelGap = d.Cluster.RelGap
+	}
+	if o.Cluster.AbsGap <= 0 {
+		o.Cluster.AbsGap = d.Cluster.AbsGap
 	}
 	if o.SpinUnit <= 0 {
 		o.SpinUnit = d.SpinUnit
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Normalized returns the options with every zero field replaced by its
+// default — the exact configuration Infer will run with. Callers that key
+// caches by options must normalize first, so that e.g. the zero value and
+// an explicit DefaultOptions() share one entry.
+func (o Options) Normalized() Options {
+	o.fillDefaults()
+	return o
 }
 
 // Result carries the inferred topology plus the intermediate artifacts of
@@ -175,11 +202,18 @@ func Infer(m machine.Machine, opt Options) (*Result, error) {
 }
 
 // collectTable fills res.RawTable using the lock-step protocol of Figure 5.
+// Machines implementing machine.Forker measure pairs on independent forks,
+// fanned out over Options.Parallelism workers; everything else measures
+// sequentially through the parent machine.
 func collectTable(m machine.Machine, opt *Options, res *Result) error {
 	n := m.NumHWContexts()
 	res.RawTable = make([][]int64, n)
 	for i := range res.RawTable {
 		res.RawTable[i] = make([]int64, n)
+	}
+
+	if fk, ok := m.(machine.Forker); ok {
+		return collectTableForked(fk, m, opt, res)
 	}
 
 	x, err := m.NewThread(0)
@@ -210,11 +244,11 @@ func collectTable(m machine.Machine, opt *Options, res *Result) error {
 			var med int64
 			if fast != nil {
 				vals := fast.MeasurePair(xi, yi, opt.Reps)
-				med = acceptOrRetryRaw(vals, opt, res, func() []int64 {
+				med = acceptOrRetryRaw(vals, opt, &res.Retries, func() []int64 {
 					return fast.MeasurePair(xi, yi, opt.Reps)
 				})
 			} else {
-				med = measurePair(m, opt, res, x, y)
+				med = measurePair(m, opt, x, y, res.RdtscOverhead, &res.Retries)
 			}
 			res.RawTable[xi][yi] = med
 			res.RawTable[yi][xi] = med
@@ -223,6 +257,113 @@ func collectTable(m machine.Machine, opt *Options, res *Result) error {
 	}
 	res.Cycles = x.Rdtsc() - start
 	return nil
+}
+
+// pairOutcome is one pair's contribution to the latency table, produced by a
+// worker and merged in canonical pair order.
+type pairOutcome struct {
+	med     int64
+	cycles  int64
+	retries int
+	err     error
+}
+
+// collectTableForked measures every context pair on its own forked machine.
+// The workers only decide *when* a pair is measured, never *what* it
+// observes: each fork's noise stream is a pure function of (seed, x, y), and
+// the merge walks pairs in the same (x, y) order the sequential loop uses,
+// so the resulting table — and hence the inferred topology — is
+// byte-identical for every Parallelism, including 1.
+func collectTableForked(fk machine.Forker, m machine.Machine, opt *Options, res *Result) error {
+	n := m.NumHWContexts()
+
+	// The reported rdtsc overhead comes from the parent machine, like the
+	// sequential path's; the forks estimate and deduct their own.
+	t0, err := m.NewThread(0)
+	if err != nil {
+		return err
+	}
+	dvfsWait(m, opt, t0)
+	res.RdtscOverhead = estimateRdtscOverhead(t0)
+
+	type pair struct{ x, y int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for x := 0; x < n-1; x++ {
+		for y := x + 1; y < n; y++ {
+			pairs = append(pairs, pair{x, y})
+		}
+	}
+
+	workers := opt.Parallelism
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outcomes := make([]pairOutcome, len(pairs))
+	var next int64
+	var failed atomic.Bool // fail fast: don't measure O(N²) pairs past a doomed run
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(pairs) || failed.Load() {
+					return
+				}
+				outcomes[i] = measurePairForked(fk, opt, pairs[i].x, pairs[i].y)
+				if outcomes[i].err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for i := range pairs {
+			if outcomes[i].err != nil {
+				return outcomes[i].err
+			}
+		}
+	}
+	for i, p := range pairs {
+		o := outcomes[i]
+		res.RawTable[p.x][p.y] = o.med
+		res.RawTable[p.y][p.x] = o.med
+		res.Pairs++
+		res.Retries += o.retries
+		res.Cycles += o.cycles
+	}
+	return nil
+}
+
+// measurePairForked runs one pair's full measurement — DVFS wait, overhead
+// estimation, the Figure 5 lock-step loop — on a private fork.
+func measurePairForked(fk machine.Forker, opt *Options, xi, yi int) pairOutcome {
+	fm, err := fk.ForkPair(xi, yi)
+	if err != nil {
+		return pairOutcome{err: err}
+	}
+	x, err := fm.NewThread(xi)
+	if err != nil {
+		return pairOutcome{err: err}
+	}
+	y, err := fm.NewThread(yi)
+	if err != nil {
+		return pairOutcome{err: err}
+	}
+	start := x.Rdtsc()
+	dvfsWait(fm, opt, x)
+	dvfsWait(fm, opt, y)
+	overhead := estimateRdtscOverhead(x)
+	var o pairOutcome
+	o.med = measurePair(fm, opt, x, y, overhead, &o.retries)
+	o.cycles = x.Rdtsc() - start
+	return o
 }
 
 // dvfsWait spins until consecutive calibrated loops take the same time,
@@ -264,8 +405,9 @@ func estimateRdtscOverhead(t machine.Thread) int64 {
 }
 
 // measurePair runs the lock-step loop of Figure 5 through the generic
-// thread interface and returns the accepted median.
-func measurePair(m machine.Machine, opt *Options, res *Result, x, y machine.Thread) int64 {
+// thread interface and returns the accepted median, deducting the given
+// timestamp-read overhead and counting re-measurements into retries.
+func measurePair(m machine.Machine, opt *Options, x, y machine.Thread, rdtscOverhead int64, retries *int) int64 {
 	const line = 0x6c0c6 // arbitrary shared-line id
 	run := func() []int64 {
 		vals := make([]int64, 0, opt.Reps)
@@ -276,7 +418,7 @@ func measurePair(m machine.Machine, opt *Options, res *Result, x, y machine.Thre
 			s := x.Rdtsc()
 			x.CAS(line)
 			e := x.Rdtsc()
-			v := e - s - res.RdtscOverhead
+			v := e - s - rdtscOverhead
 			if v < 0 {
 				v = 0
 			}
@@ -284,13 +426,13 @@ func measurePair(m machine.Machine, opt *Options, res *Result, x, y machine.Thre
 		}
 		return vals
 	}
-	return acceptOrRetryRaw(run(), opt, res, run)
+	return acceptOrRetryRaw(run(), opt, retries, run)
 }
 
 // acceptOrRetryRaw applies the stability rule of Section 3.5: accept the
 // median if the standard deviation is below the threshold; otherwise
 // re-measure with a widened threshold (7% -> 14% by default).
-func acceptOrRetryRaw(vals []int64, opt *Options, res *Result, again func() []int64) int64 {
+func acceptOrRetryRaw(vals []int64, opt *Options, retries *int, again func() []int64) int64 {
 	threshold := opt.StdevThreshold
 	for retry := 0; ; retry++ {
 		med := stats.Median(vals)
@@ -300,7 +442,7 @@ func acceptOrRetryRaw(vals []int64, opt *Options, res *Result, again func() []in
 		if stats.Stdev(vals) <= threshold*float64(med) || retry >= opt.MaxRetries {
 			return med
 		}
-		res.Retries++
+		*retries++
 		threshold += (opt.StdevThresholdMax - opt.StdevThreshold) / float64(opt.MaxRetries)
 		if threshold > opt.StdevThresholdMax {
 			threshold = opt.StdevThresholdMax

@@ -11,6 +11,7 @@
 package place
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,12 @@ import (
 
 	"repro/internal/topo"
 )
+
+// ErrInvalid is wrapped by every placement failure the caller can correct —
+// an unknown policy name, the power policy on a machine without power
+// measurements, unsatisfiable options. Servers use errors.Is to map these
+// to client errors rather than server faults.
+var ErrInvalid = errors.New("place: invalid placement request")
 
 // Policy is one of the 12 placement policies of Table 2.
 type Policy int
@@ -96,7 +103,7 @@ func ParsePolicy(s string) (Policy, error) {
 			return p, nil
 		}
 	}
-	return None, fmt.Errorf("place: unknown policy %q", s)
+	return None, fmt.Errorf("%w: unknown policy %q", ErrInvalid, s)
 }
 
 // Options tunes a placement. Zero values mean "use everything".
@@ -124,14 +131,14 @@ type Placement struct {
 // satisfiable.
 func New(t *topo.Topology, policy Policy, opt Options) (*Placement, error) {
 	if opt.NSockets < 0 || opt.NThreads < 0 {
-		return nil, fmt.Errorf("place: negative options %+v", opt)
+		return nil, fmt.Errorf("%w: negative options %+v", ErrInvalid, opt)
 	}
 	nSockets := opt.NSockets
 	if nSockets == 0 || nSockets > t.NumSockets() {
 		nSockets = t.NumSockets()
 	}
 	if policy == PowerPolicy && !t.Power().Available() {
-		return nil, fmt.Errorf("place: %v requires power measurements (Intel-only)", policy)
+		return nil, fmt.Errorf("%w: %v requires power measurements (Intel-only)", ErrInvalid, policy)
 	}
 
 	order, err := buildOrder(t, policy, nSockets, opt.NThreads)
@@ -220,9 +227,12 @@ func coreHWCOrder(t *topo.Topology, s *topo.Socket) []int {
 func buildOrder(t *topo.Topology, policy Policy, nSockets, nThreads int) ([]int, error) {
 	switch policy {
 	case None:
-		n := nThreads
-		if n == 0 {
-			n = t.NumHWContexts()
+		// Like every other policy, None offers at most one slot per
+		// hardware context (also keeps a huge nThreads from allocating a
+		// huge slice).
+		n := t.NumHWContexts()
+		if nThreads > 0 && nThreads < n {
+			n = nThreads
 		}
 		out := make([]int, n)
 		for i := range out {

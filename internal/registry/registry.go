@@ -1,0 +1,339 @@
+// Package registry is the concurrency-safe topology service layer on top of
+// MCTOP-ALG and MCTOP-PLACE.
+//
+// The paper's deployment model is "infer once, reuse everywhere": a
+// description file is "created once, then used to load the topology"
+// (Section 2). Inference is O(N²) pair measurements and therefore orders of
+// magnitude more expensive than any topology query, so a server answering
+// topology or placement questions must never run it twice for the same
+// inputs. The Registry memoizes inference results and derived placements
+// under a key of (platform, seed, options-hash):
+//
+//   - sharded: keys hash onto independent shards, each with its own lock,
+//     so concurrent lookups of different topologies never contend;
+//   - singleflight: concurrent misses on the same key collapse into one
+//     inference — the first caller computes, the rest wait for its result;
+//   - LRU-bounded: each shard evicts its least-recently-used entries beyond
+//     its capacity share, so a long-running daemon's memory stays flat.
+//
+// All methods are safe for concurrent use and pass `go test -race`.
+package registry
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mctopalg"
+	"repro/internal/place"
+	"repro/internal/topo"
+)
+
+// InferFunc produces a topology for a platform/seed/options triple. The
+// facade wires InferPlatformDetailed (simulate + infer + enrich) here; tests
+// substitute cheap or counting implementations.
+type InferFunc func(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error)
+
+// Options configures a Registry. The zero value of every field has a sane
+// default except Infer, which is required.
+type Options struct {
+	// Infer computes a topology on a cache miss (required).
+	Infer InferFunc
+	// MaxEntries bounds the cached values across the whole registry
+	// (topologies and placements each count as one entry); the bound is
+	// split evenly across shards, so a shard receiving a skewed share of
+	// hot keys may evict before the registry as a whole is full.
+	// Default 256.
+	MaxEntries int
+	// Shards is the number of independently locked cache shards.
+	// Default 8.
+	Shards int
+	// MaxConcurrentComputes bounds how many cache misses may compute at
+	// once across the whole registry; further misses queue. One inference
+	// already fans out over GOMAXPROCS workers, so running many
+	// concurrently only oversubscribes the CPU — and without a bound a
+	// client sweeping distinct seeds can saturate a serving daemon
+	// indefinitely. Default 2; < 0 means unlimited.
+	MaxConcurrentComputes int
+}
+
+// Stats is a snapshot of the registry's counters.
+type Stats struct {
+	Hits       int64 // lookups answered from cache
+	Misses     int64 // lookups that computed (or joined a computation)
+	Inferences int64 // actual topology inferences executed
+	Placements int64 // actual placements computed
+	Evictions  int64 // entries dropped by the LRU bound
+	Entries    int   // currently cached entries
+}
+
+// Registry memoizes topologies and placements.
+type Registry struct {
+	infer    InferFunc
+	shards   []*shard
+	computes chan struct{} // semaphore over concurrent inferences; nil = unlimited
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	inferences atomic.Int64
+	placements atomic.Int64
+	evictions  atomic.Int64
+}
+
+type shard struct {
+	mu       sync.Mutex
+	cap      int // this shard's share of Options.MaxEntries
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*call
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight computation; late arrivals wait on done and share
+// val/err with the caller that executed it.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New creates a registry. It panics if opt.Infer is nil: a registry without
+// an inference function cannot answer anything.
+func New(opt Options) *Registry {
+	if opt.Infer == nil {
+		panic("registry: Options.Infer is required")
+	}
+	if opt.MaxEntries <= 0 {
+		opt.MaxEntries = 256
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = 8
+	}
+	if opt.Shards > opt.MaxEntries {
+		opt.Shards = opt.MaxEntries
+	}
+	r := &Registry{
+		infer:  opt.Infer,
+		shards: make([]*shard, opt.Shards),
+	}
+	if opt.MaxConcurrentComputes == 0 {
+		opt.MaxConcurrentComputes = 2
+	}
+	if opt.MaxConcurrentComputes > 0 {
+		r.computes = make(chan struct{}, opt.MaxConcurrentComputes)
+	}
+	// Split MaxEntries across shards, handing the remainder out one entry
+	// at a time so the total capacity is exactly the requested bound.
+	base, extra := opt.MaxEntries/opt.Shards, opt.MaxEntries%opt.Shards
+	for i := range r.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		r.shards[i] = &shard{
+			cap:      cap,
+			entries:  make(map[string]*list.Element),
+			order:    list.New(),
+			inflight: make(map[string]*call),
+		}
+	}
+	return r
+}
+
+// shardOf picks a shard by an inlined FNV-1a over the key: this runs on
+// every lookup, and the hash/fnv Hasher would cost two heap allocations per
+// call on the serving hot path.
+func (r *Registry) shardOf(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return r.shards[h%uint32(len(r.shards))]
+}
+
+// get returns the cached value for key, or computes it via fn exactly once
+// per concurrent wave of callers (singleflight) and caches the result. hit
+// reports whether this call was answered from cache without computing or
+// waiting on a computation.
+func (r *Registry) get(key string, fn func() (any, error)) (val any, hit bool, err error) {
+	s := r.shardOf(key)
+
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		r.hits.Add(1)
+		return el.Value.(*entry).val, true, nil
+	}
+	r.misses.Add(1)
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.val, false, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	// The cleanup must run even if fn panics: leaving the inflight entry
+	// behind would hang every future lookup of this key on c.done. A panic
+	// still propagates to the computing caller, but waiters get an error
+	// and later lookups retry.
+	completed := false
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if !completed {
+			c.err = fmt.Errorf("registry: computation for %q panicked", key)
+		}
+		if c.err == nil {
+			el := s.order.PushFront(&entry{key: key, val: c.val})
+			s.entries[key] = el
+			for s.order.Len() > s.cap {
+				oldest := s.order.Back()
+				s.order.Remove(oldest)
+				delete(s.entries, oldest.Value.(*entry).key)
+				r.evictions.Add(1)
+			}
+		}
+		s.mu.Unlock()
+		close(c.done)
+	}()
+
+	c.val, c.err = fn()
+	completed = true
+	return c.val, false, c.err
+}
+
+// topoKey serializes the platform, seed and every inference option that can
+// change the result, field by field, so distinct configurations never
+// collide and the key stays stable across runs. Options are normalized
+// first, so the zero value and an explicit DefaultOptions() share one
+// entry. Parallelism is deliberately excluded: by construction it does not
+// affect the inferred topology. Keys are built with strconv appends — this
+// runs on every lookup of the serving hot path, where fmt.Sprintf's
+// reflection would be the dominant allocation.
+func topoKey(platform string, seed uint64, opt mctopalg.Options) string {
+	o := opt.Normalized()
+	b := make([]byte, 0, 96)
+	b = append(b, "topo|"...)
+	b = append(b, platform...)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, seed, 10)
+	b = append(b, "|r"...)
+	b = strconv.AppendInt(b, int64(o.Reps), 10)
+	b = append(b, ",s"...)
+	b = strconv.AppendFloat(b, o.StdevThreshold, 'g', -1, 64)
+	b = append(b, ",sm"...)
+	b = strconv.AppendFloat(b, o.StdevThresholdMax, 'g', -1, 64)
+	b = append(b, ",mr"...)
+	b = strconv.AppendInt(b, int64(o.MaxRetries), 10)
+	b = append(b, ",cg"...)
+	b = strconv.AppendFloat(b, o.Cluster.RelGap, 'g', -1, 64)
+	b = append(b, ",ca"...)
+	b = strconv.AppendInt(b, o.Cluster.AbsGap, 10)
+	b = append(b, ",cm"...)
+	b = strconv.AppendInt(b, int64(o.Cluster.MaxClusters), 10)
+	b = append(b, ",su"...)
+	b = strconv.AppendInt(b, o.SpinUnit, 10)
+	b = append(b, ",smp"...)
+	b = strconv.AppendBool(b, o.SkipMemoryProbe)
+	return string(b)
+}
+
+// Topology returns the memoized topology for (platform, seed, opt),
+// inferring it on first use.
+func (r *Registry) Topology(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
+	t, _, err := r.LookupTopology(platform, seed, opt)
+	return t, err
+}
+
+// LookupTopology is Topology plus a per-call cache indicator: hit is true
+// only when this call was answered from cache without running or waiting on
+// an inference (servers report it per request; the global Stats counters
+// cannot distinguish concurrent callers).
+func (r *Registry) LookupTopology(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, bool, error) {
+	v, hit, err := r.get(topoKey(platform, seed, opt), func() (any, error) {
+		// Only inferences take a compute slot. Placement computes stay
+		// ungated: they are cheap, and a placement miss computes its
+		// topology through this very path — gating both would let two
+		// placement misses exhaust the slots and deadlock on their
+		// nested inferences.
+		if r.computes != nil {
+			r.computes <- struct{}{}
+			defer func() { <-r.computes }()
+		}
+		r.inferences.Add(1)
+		return r.infer(platform, seed, opt)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*topo.Topology), hit, nil
+}
+
+// Place returns the memoized placement of nThreads threads under the named
+// policy (as accepted by place.ParsePolicy) on the memoized topology for
+// (platform, seed, opt). The placement is shared between callers: treat it
+// as read-only (Contexts, String, the Figure 7 accessors) — the PinNext
+// cursor is global to all users of the registry.
+func (r *Registry) Place(platform string, seed uint64, opt mctopalg.Options, policy string, nThreads int) (*place.Placement, error) {
+	pol, err := place.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("place|%s|%v|%d", topoKey(platform, seed, opt), pol, nThreads)
+	v, _, err := r.get(key, func() (any, error) {
+		t, err := r.Topology(platform, seed, opt)
+		if err != nil {
+			return nil, err
+		}
+		r.placements.Add(1)
+		return place.New(t, pol, place.Options{NThreads: nThreads})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*place.Placement), nil
+}
+
+// Stats snapshots the registry's counters.
+func (r *Registry) Stats() Stats {
+	return Stats{
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		Inferences: r.inferences.Load(),
+		Placements: r.placements.Load(),
+		Evictions:  r.evictions.Load(),
+		Entries:    r.Len(),
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (r *Registry) Len() int {
+	n := 0
+	for _, s := range r.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every cached entry (in-flight computations are unaffected and
+// will re-populate the cache when they finish).
+func (r *Registry) Purge() {
+	for _, s := range r.shards {
+		s.mu.Lock()
+		s.entries = make(map[string]*list.Element)
+		s.order = list.New()
+		s.mu.Unlock()
+	}
+}

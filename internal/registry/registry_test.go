@@ -1,0 +1,412 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mctopalg"
+	"repro/internal/place"
+	"repro/internal/plugins"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// realInfer is the full pipeline (simulate + infer + enrich) the facade
+// installs; registry tests that need genuine topologies use it directly to
+// avoid an import cycle with the root package.
+func realInfer(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
+	p, err := sim.ByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.NewSim(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mctopalg.Infer(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	return plugins.Enrich(m, res.Topology, nil)
+}
+
+// fakeTopo builds a tiny real topology once; tests that only exercise cache
+// mechanics share it through a stub InferFunc.
+var fakeTopo = sync.OnceValue(func() *topo.Topology {
+	t, err := realInfer("Ivy", 1, mctopalg.Options{Reps: 51})
+	if err != nil {
+		panic(err)
+	}
+	return t
+})
+
+func TestSingleflightCollapsesConcurrentInferences(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond) // widen the window for the herd
+		return fakeTopo(), nil
+	}})
+
+	const herd = 32
+	var wg sync.WaitGroup
+	tops := make([]*topo.Topology, herd)
+	for i := 0; i < herd; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			top, err := r.Topology("Ivy", 42, mctopalg.Options{Reps: 51})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tops[i] = top
+		}()
+	}
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("herd of %d triggered %d inferences, want 1", herd, n)
+	}
+	for i := 1; i < herd; i++ {
+		if tops[i] != tops[0] {
+			t.Fatalf("caller %d got a different *Topology than caller 0", i)
+		}
+	}
+	st := r.Stats()
+	if st.Inferences != 1 || st.Entries != 1 {
+		t.Errorf("stats after herd: %+v", st)
+	}
+}
+
+func TestConcurrentMixedReadersWriters(t *testing.T) {
+	// Mixed workload across many keys under -race: topology hits, topology
+	// misses, placements, stats reads and purges, all concurrent.
+	r := New(Options{MaxEntries: 32, Shards: 4,
+		Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+			return fakeTopo(), nil
+		}})
+	opt := mctopalg.Options{Reps: 51}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				seed := uint64((g + i) % 8)
+				switch i % 4 {
+				case 0:
+					if _, err := r.Topology("Ivy", seed, opt); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if _, err := r.Place("Ivy", seed, opt, "RR_CORE", 8); err != nil {
+						t.Error(err)
+					}
+				case 2:
+					r.Stats()
+				case 3:
+					if i%20 == 3 {
+						r.Purge()
+					} else if _, err := r.Topology("Ivy", seed, opt); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestComputeConcurrencyBound(t *testing.T) {
+	var cur, max atomic.Int64
+	r := New(Options{MaxConcurrentComputes: 2,
+		Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			cur.Add(-1)
+			return fakeTopo(), nil
+		}})
+	opt := mctopalg.Options{Reps: 51}
+
+	var wg sync.WaitGroup
+	for seed := uint64(0); seed < 8; seed++ {
+		seed := seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Topology("Ivy", seed, opt); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if m := max.Load(); m > 2 {
+		t.Fatalf("observed %d concurrent inferences, bound is 2", m)
+	}
+	// Placement misses must not consume compute slots (their nested
+	// topology computes do) — otherwise two placement misses could
+	// deadlock on the semaphore.
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Place("Ivy", 100, opt, "RR_CORE", 4)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("placement miss deadlocked on the compute semaphore")
+	}
+}
+
+func TestLRUBoundAndEviction(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{MaxEntries: 4, Shards: 1,
+		Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+			calls.Add(1)
+			return fakeTopo(), nil
+		}})
+	opt := mctopalg.Options{Reps: 51}
+
+	for seed := uint64(0); seed < 8; seed++ {
+		if _, err := r.Topology("Ivy", seed, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r.Len(); n != 4 {
+		t.Fatalf("entries = %d, want the MaxEntries bound of 4", n)
+	}
+	if ev := r.Stats().Evictions; ev != 4 {
+		t.Fatalf("evictions = %d, want 4", ev)
+	}
+
+	// Seeds 4..7 are resident; 4 is now least recently used. Touch it, then
+	// insert one more: seed 5 must be the victim.
+	calls.Store(0)
+	if _, err := r.Topology("Ivy", 4, opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("seed 4 should have been a cache hit")
+	}
+	if _, err := r.Topology("Ivy", 8, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Topology("Ivy", 4, opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("after touch+insert, re-reading seed 4 cost %d inferences, want 0 (LRU should have evicted 5)", calls.Load()-1+1)
+	}
+	if _, err := r.Topology("Ivy", 5, opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatal("seed 5 should have been evicted and re-inferred")
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	r := New(Options{Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return fakeTopo(), nil
+	}})
+	opt := mctopalg.Options{Reps: 51}
+	if _, err := r.Topology("Ivy", 1, opt); !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v, want boom", err)
+	}
+	if _, err := r.Topology("Ivy", 1, opt); err != nil {
+		t.Fatalf("second call should retry and succeed, got %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (errors must not be cached)", calls.Load())
+	}
+}
+
+func TestPanickingInferDoesNotWedgeTheKey(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+		if calls.Add(1) == 1 {
+			time.Sleep(100 * time.Millisecond) // hold the key so the waiter joins in-flight
+			panic("inference exploded")
+		}
+		return fakeTopo(), nil
+	}})
+	opt := mctopalg.Options{Reps: 51}
+
+	// A waiter that joins the in-flight panicking computation must get an
+	// error, not hang.
+	waited := make(chan error, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		go func() {
+			time.Sleep(10 * time.Millisecond) // join while the leader holds the key
+			_, err := r.Topology("Ivy", 1, opt)
+			waited <- err
+		}()
+		r.Topology("Ivy", 1, opt)
+	}()
+	select {
+	case err := <-waited:
+		if err == nil {
+			t.Error("waiter on a panicked computation got a nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung on a panicked computation")
+	}
+
+	// The key must be retryable afterwards.
+	if _, err := r.Topology("Ivy", 1, opt); err != nil {
+		t.Fatalf("lookup after panic failed: %v", err)
+	}
+}
+
+func TestOptionsKeyDistinguishesConfigurations(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+		calls.Add(1)
+		return fakeTopo(), nil
+	}})
+	if _, err := r.Topology("Ivy", 1, mctopalg.Options{Reps: 51}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Topology("Ivy", 1, mctopalg.Options{Reps: 101}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("distinct Reps shared one cache entry (calls = %d)", calls.Load())
+	}
+	// Parallelism must NOT split the cache: the result is identical by
+	// construction.
+	if _, err := r.Topology("Ivy", 1, mctopalg.Options{Reps: 51, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatal("Parallelism leaked into the cache key")
+	}
+	// Zero-value options and explicit defaults are the same inference and
+	// must share one entry (keys are normalized before hashing).
+	if _, err := r.Topology("Ivy", 2, mctopalg.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Topology("Ivy", 2, mctopalg.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("zero-value and DefaultOptions() split into %d entries, want 1", calls.Load()-2)
+	}
+	// MaxClusters changes clustering and must split the cache.
+	capped := mctopalg.DefaultOptions()
+	capped.Cluster.MaxClusters = 2
+	if _, err := r.Topology("Ivy", 2, capped); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Fatal("Cluster.MaxClusters missing from the cache key")
+	}
+}
+
+func TestPlaceCachedAndDerivedFromCachedTopology(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Infer: func(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
+		calls.Add(1)
+		return realInfer(platform, seed, opt)
+	}})
+	opt := mctopalg.Options{Reps: 51}
+
+	p1, err := r.Place("Ivy", 42, opt, "CON_HWC", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Place("Ivy", 42, opt, "CON_HWC", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("identical placement queries returned distinct placements")
+	}
+	if p1.NThreads() != 30 || p1.Policy() != place.ConHWC {
+		t.Fatalf("placement wrong: %d threads, policy %v", p1.NThreads(), p1.Policy())
+	}
+	// A different policy on the same platform reuses the cached topology.
+	if _, err := r.Place("Ivy", 42, opt, "RR_CORE", 8); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("inferences = %d, want 1 (placements must share the topology)", calls.Load())
+	}
+	if _, err := r.Place("Ivy", 42, opt, "NO_SUCH_POLICY", 8); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+// TestCachedLookupSpeedup is the acceptance check of the service layer: a
+// cached Topology lookup must be at least 100x faster than a cold
+// InferPlatform. The margin in practice is ~10^4-10^5, so the assertion is
+// far from flaky.
+func TestCachedLookupSpeedup(t *testing.T) {
+	r := New(Options{Infer: realInfer})
+	opt := mctopalg.Options{Reps: 51}
+
+	coldStart := time.Now()
+	if _, err := r.Topology("Ivy", 42, opt); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+
+	const hits = 1000
+	hitStart := time.Now()
+	for i := 0; i < hits; i++ {
+		if _, err := r.Topology("Ivy", 42, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hit := time.Since(hitStart) / hits
+	if hit == 0 {
+		hit = 1
+	}
+	speedup := float64(cold) / float64(hit)
+	t.Logf("cold infer %v, cached lookup %v, speedup %.0fx", cold, hit, speedup)
+	if speedup < 100 {
+		t.Fatalf("cached lookup only %.1fx faster than cold inference, want >= 100x", speedup)
+	}
+}
+
+func TestShardingSpreadsKeys(t *testing.T) {
+	r := New(Options{MaxEntries: 1024, Shards: 8,
+		Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+			return fakeTopo(), nil
+		}})
+	used := map[*shard]bool{}
+	for i := 0; i < 64; i++ {
+		used[r.shardOf(fmt.Sprintf("topo|Ivy|%d|", i))] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("64 keys landed on %d shard(s); hashing is broken", len(used))
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mesi"
 )
@@ -106,6 +107,20 @@ func New(p *Platform, seed uint64) (*Sim, error) {
 
 // Platform returns the simulated machine's ground-truth description.
 func (s *Sim) Platform() *Platform { return s.p }
+
+// Seed returns the simulator's noise seed, so callers can derive seeds for
+// independent forks (see PairSeed).
+func (s *Sim) Seed() uint64 { return s.seed }
+
+// PairSeed derives the noise seed of an independent per-pair measurement
+// simulator from a base seed and an (x, y) context pair. The derivation is a
+// pure function of its inputs, so per-pair forks observe the same noise
+// stream no matter how many of them run, in which order, or on how many OS
+// threads — the property that lets the parallel MCTOP-ALG measurement phase
+// stay byte-identical to the sequential one.
+func PairSeed(seed uint64, x, y int) uint64 {
+	return splitmix64(splitmix64(seed^(uint64(x)<<32)) ^ uint64(y))
+}
 
 // Coherence exposes the underlying MESI engine (used by the lock-contention
 // simulator, which shares the machine's coherence state).
@@ -434,9 +449,14 @@ func (s *Sim) StreamBandwidth(ctxs []int, node int) float64 {
 		}
 		coresBySocket[sock][s.p.CoreOf(c)] = true
 	}
+	socks := make([]int, 0, len(coresBySocket))
+	for sock := range coresBySocket {
+		socks = append(socks, sock)
+	}
+	sort.Ints(socks) // float addition is order-sensitive; keep the sum stable
 	var total float64
-	for sock, cores := range coresBySocket {
-		demand := float64(len(cores)) * s.p.CoreStreamBW
+	for _, sock := range socks {
+		demand := float64(len(coresBySocket[sock])) * s.p.CoreStreamBW
 		path := s.p.MemBW[sock][node]
 		if demand > path {
 			demand = path

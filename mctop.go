@@ -22,10 +22,19 @@
 //   - internal/plugins   — memory/cache/power enrichment (Section 4)
 //   - internal/place     — MCTOP-PLACE, the 12 placement policies
 //     (Section 6)
+//   - internal/registry — the topology service layer: a sharded,
+//     singleflight-deduplicated, LRU-bounded cache that memoizes inference
+//     results and derived placements (the paper's "created once, then used
+//     to load the topology" deployment model, Section 2)
 //   - internal/locks, internal/contend, internal/msort, internal/reduce,
 //     internal/mapreduce, internal/graph, internal/omp,
 //     internal/worksteal — the portable-optimization case studies
 //     (Sections 5 and 7)
+//
+// Inference parallelism: on simulated machines the O(N²) measurement phase
+// of MCTOP-ALG fans out over a bounded worker pool (Options.Parallelism),
+// measuring each context pair on an independent deterministic fork — the
+// inferred topology is byte-identical to a sequential run for a fixed seed.
 //
 // Quick start:
 //
@@ -33,6 +42,12 @@
 //	node := top.GetLocalNode(0)                  // query the abstraction
 //	pl, err := mctop.Place(top, "CON_HWC", 30)   // place 30 threads
 //	fmt.Print(pl)                                // the Figure 7 report
+//
+// Serving topologies (what cmd/mctopd builds on):
+//
+//	reg := mctop.NewRegistry(256)                        // LRU bound
+//	top, err := reg.Topology("Ivy", 42, mctop.Options{}) // infers once
+//	pl, err := reg.Place("Ivy", 42, mctop.Options{}, "RR_CORE", 8)
 package mctop
 
 import (
@@ -42,6 +57,7 @@ import (
 	"repro/internal/mctopalg"
 	"repro/internal/place"
 	"repro/internal/plugins"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -155,6 +171,30 @@ func Describe(t *Topology) string {
 	out += "\n--- intra-socket graph (socket 0) ---\n" + t.DotIntraSocket(0)
 	out += "\n--- cross-socket graph ---\n" + t.DotCrossSocket()
 	return out
+}
+
+// Registry is a concurrency-safe, LRU-bounded cache of inferred topologies
+// and derived placements, keyed by (platform, seed, options). Concurrent
+// misses on one key collapse into a single inference (singleflight); hits
+// are lock-cheap map lookups, orders of magnitude faster than re-running
+// MCTOP-ALG. See internal/registry for the full API and semantics.
+type Registry = registry.Registry
+
+// RegistryStats is a snapshot of a Registry's hit/miss/eviction counters.
+type RegistryStats = registry.Stats
+
+// NewRegistry creates a topology registry bounded to maxEntries cached
+// values (topologies and placements each count as one; <= 0 uses the
+// default of 256). Misses run the full InferPlatformDetailed pipeline:
+// simulate, infer, enrich.
+func NewRegistry(maxEntries int) *Registry {
+	return registry.New(registry.Options{
+		MaxEntries: maxEntries,
+		Infer: func(platform string, seed uint64, opt Options) (*Topology, error) {
+			t, _, err := InferPlatformDetailed(platform, seed, opt)
+			return t, err
+		},
+	})
 }
 
 // MustInfer is InferPlatform for examples and tests that cannot proceed
