@@ -1,0 +1,118 @@
+// Command bench2json converts `go test -bench` text output into the
+// BENCH_*.json format CI archives: one record per benchmark with its
+// package, iteration count, ns/op and any custom metrics (the paper-figure
+// values the benchmarks report, e.g. smt_cycles or min_bw_gbs). Reading
+// from stdin and writing to stdout keeps it pipeline-shaped:
+//
+//	go test -bench . -benchtime=1x ./... | bench2json > BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed line.
+type Result struct {
+	Pkg      string             `json:"pkg,omitempty"`
+	Name     string             `json:"name"`
+	Procs    int                `json:"procs,omitempty"`
+	Iters    int64              `json:"iterations"`
+	NsPerOp  float64            `json:"ns_per_op,omitempty"`
+	BytesOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerSec float64            `json:"mb_per_sec,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go-test output. Package clauses ("pkg: repro/internal/topo")
+// attribute the benchmarks that follow; anything that is not a benchmark
+// line is ignored, so the tool accepts the raw `go test ./...` stream.
+func parse(r io.Reader) (*Output, error) {
+	out := &Output{Results: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... [no test files]" noise
+		}
+		res := Result{Pkg: pkg, Iters: iters, Metrics: map[string]float64{}}
+		res.Name, res.Procs = splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+		// The remainder is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			case "MB/s":
+				res.MBPerSec = v
+			default:
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		out.Results = append(out.Results, res)
+	}
+	return out, sc.Err()
+}
+
+// splitProcs separates the -N GOMAXPROCS suffix go test appends to
+// benchmark names ("QueryIndex_GetLatency-8").
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/topo
+cpu: AMD EPYC
+BenchmarkQueryIndex_GetLatency-8   	95212609	         3.771 ns/op
+BenchmarkQueryIndex_MaxLatencyBetween64-8   	  459612	       819.8 ns/op	     120 B/op	       4 allocs/op
+PASS
+ok  	repro/internal/topo	2.376s
+pkg: repro
+BenchmarkFig6_AlgSteps-8	1	51803000 ns/op	        46.00 smt_cycles	       122.0 intra_cycles	       276.0 cross_cycles
+BenchmarkOddNoProcs	100	12 ns/op
+--- BENCH: some stray line
+FAIL	repro/internal/broken	0.1s
+`
+
+func TestParse(t *testing.T) {
+	out, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(out.Results), out.Results)
+	}
+
+	r := out.Results[0]
+	if r.Pkg != "repro/internal/topo" || r.Name != "QueryIndex_GetLatency" || r.Procs != 8 {
+		t.Errorf("result 0 identity wrong: %+v", r)
+	}
+	if r.Iters != 95212609 || r.NsPerOp != 3.771 {
+		t.Errorf("result 0 values wrong: %+v", r)
+	}
+
+	r = out.Results[1]
+	if r.BytesOp != 120 || r.AllocsOp != 4 {
+		t.Errorf("result 1 mem stats wrong: %+v", r)
+	}
+
+	r = out.Results[2]
+	if r.Pkg != "repro" || r.Name != "Fig6_AlgSteps" {
+		t.Errorf("result 2 identity wrong: %+v", r)
+	}
+	if r.Metrics["smt_cycles"] != 46 || r.Metrics["intra_cycles"] != 122 || r.Metrics["cross_cycles"] != 276 {
+		t.Errorf("result 2 metrics wrong: %+v", r.Metrics)
+	}
+
+	r = out.Results[3]
+	if r.Name != "OddNoProcs" || r.Procs != 0 || r.Iters != 100 {
+		t.Errorf("result 3 wrong: %+v", r)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	out, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil || len(out.Results) != 0 {
+		t.Fatalf("(%v, %v)", out, err)
+	}
+	if out.Results == nil {
+		t.Fatal("results must encode as [], not null")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"Foo-8", "Foo", 8},
+		{"Foo", "Foo", 0},
+		{"Foo-bar", "Foo-bar", 0},
+		{"Foo-bar-16", "Foo-bar", 16},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -11,12 +11,30 @@
 //
 // Endpoints:
 //
-//	GET /healthz                          liveness probe
-//	GET /v1/platforms                     the five simulated platforms
-//	GET /v1/policies                      the 12 placement policies
-//	GET /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
-//	GET /v1/place?platform=Ivy&seed=42&policy=RR_CORE&threads=8
-//	GET /v1/stats                         registry hit/miss/eviction counters
+//	GET  /healthz                          liveness probe
+//	GET  /v1/platforms                     the five simulated platforms
+//	GET  /v1/policies                      the 12 placement policies
+//	GET  /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
+//	GET  /v1/place?platform=Ivy&seed=42&policy=RR_CORE&threads=8
+//	POST /v1/place/batch                   many placements, one topology lookup
+//	GET  /v1/stats                         registry hit/miss/eviction counters
+//
+// The batch endpoint answers many {policy, threads} requests against one
+// topology in a single call — runtime systems resolving a whole sweep of
+// placement configurations pay the registry lookup (and, cold, the O(N²)
+// inference) once, and every placement is built from the topology's
+// precomputed query index. Requests that fail (unknown policy, POWER on a
+// machine without power measurements) report their error inline without
+// failing the batch:
+//
+//	curl -s -X POST localhost:8077/v1/place/batch -d '{
+//	  "platform": "Ivy", "seed": 42,
+//	  "requests": [
+//	    {"policy": "RR_CORE",  "threads": 8},
+//	    {"policy": "CON_HWC",  "threads": 30},
+//	    {"policy": "POWER",    "threads": 16}
+//	  ]
+//	}'
 package main
 
 import (
@@ -75,6 +93,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/policies", s.handlePolicies)
 	mux.HandleFunc("/v1/topology", s.handleTopology)
 	mux.HandleFunc("/v1/place", s.handlePlace)
+	mux.HandleFunc("/v1/place/batch", s.handlePlaceBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
@@ -103,21 +122,34 @@ func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"policies": mctop.PolicyNames()})
 }
 
+// validatePlatform rejects unknown platform names (the client's fault).
+func validatePlatform(platform string) error {
+	for _, p := range mctop.Platforms() {
+		if p == platform {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown platform %q (one of: %s)", platform, strings.Join(mctop.Platforms(), ", "))
+}
+
+// validateReps bounds the work one request can demand: inference is
+// O(N² · reps) and runs to completion once started, beyond any response
+// timeout. 10000 is 5x the paper's n = 2000.
+func validateReps(reps int) error {
+	if reps < 1 || reps > 10000 {
+		return fmt.Errorf("bad reps %d (want 1..10000)", reps)
+	}
+	return nil
+}
+
 // query pulls the common platform/seed/options parameters. seed defaults to
 // 42, reps to the daemon default; a missing or unknown platform and every
 // parse error are the client's fault (400).
 func (s *server) query(r *http.Request) (platform string, seed uint64, opt mctop.Options, err error) {
 	q := r.URL.Query()
 	platform = q.Get("platform")
-	known := false
-	for _, p := range mctop.Platforms() {
-		if p == platform {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return "", 0, opt, fmt.Errorf("unknown ?platform=%q (one of: %s)", platform, strings.Join(mctop.Platforms(), ", "))
+	if err := validatePlatform(platform); err != nil {
+		return "", 0, opt, err
 	}
 	seed = 42
 	if v := q.Get("seed"); v != "" {
@@ -128,11 +160,11 @@ func (s *server) query(r *http.Request) (platform string, seed uint64, opt mctop
 	opt.Reps = s.defaultReps
 	if v := q.Get("reps"); v != "" {
 		reps, perr := strconv.Atoi(v)
-		// The cap bounds the work one GET can demand: inference is
-		// O(N² · reps) and runs to completion once started, beyond any
-		// response timeout. 10000 is 5x the paper's n = 2000.
-		if perr != nil || reps < 1 || reps > 10000 {
-			return "", 0, opt, fmt.Errorf("bad reps %q (want 1..10000)", v)
+		if perr != nil {
+			return "", 0, opt, fmt.Errorf("bad reps %q: %v", v, perr)
+		}
+		if err := validateReps(reps); err != nil {
+			return "", 0, opt, err
 		}
 		opt.Reps = reps
 	}
@@ -268,6 +300,124 @@ func (s *server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		Report:       pl.String(),
 		ServedIn:     time.Since(start).String(),
 	})
+}
+
+// maxBatchRequests bounds the placements one POST can demand, the
+// connection-level backpressure of the batch API: a placement is cheap, but
+// an unbounded batch is still an unbounded amount of work behind a single
+// response deadline.
+const maxBatchRequests = 1024
+
+// batchRequest is the POST /v1/place/batch body. Seed is a pointer so an
+// absent field gets the same default (42) the GET endpoints use.
+type batchRequest struct {
+	Platform string  `json:"platform"`
+	Seed     *uint64 `json:"seed"`
+	Reps     int     `json:"reps,omitempty"`
+	Requests []struct {
+		Policy  string `json:"policy"`
+		Threads int    `json:"threads"`
+	} `json:"requests"`
+}
+
+// batchItemResponse is one element of the batch answer: a placeResponse
+// without the request-level fields, or an inline error.
+type batchItemResponse struct {
+	Policy       string  `json:"policy"`
+	Error        string  `json:"error,omitempty"`
+	NThreads     int     `json:"n_threads,omitempty"`
+	Contexts     []int   `json:"contexts,omitempty"`
+	NCores       int     `json:"n_cores,omitempty"`
+	CtxPerSocket []int   `json:"ctx_per_socket,omitempty"`
+	MaxLatency   int64   `json:"max_latency_cycles,omitempty"`
+	MinBandwidth float64 `json:"min_bandwidth_gbs,omitempty"`
+}
+
+type batchResponse struct {
+	Platform string              `json:"platform"`
+	Seed     uint64              `json:"seed"`
+	Results  []batchItemResponse `json:"results"`
+	ServedIn string              `json:"served_in"`
+}
+
+func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("batch placement is POST-only"))
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %v", err))
+		return
+	}
+	if err := validatePlatform(req.Platform); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch: provide at least one {policy, threads} request"))
+		return
+	}
+	if len(req.Requests) > maxBatchRequests {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d requests exceeds the limit of %d", len(req.Requests), maxBatchRequests))
+		return
+	}
+	var opt mctop.Options
+	opt.Reps = s.defaultReps
+	if req.Reps != 0 {
+		if err := validateReps(req.Reps); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		opt.Reps = req.Reps
+	}
+	for i := range req.Requests {
+		if req.Requests[i].Threads < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("request %d: bad threads %d", i, req.Requests[i].Threads))
+			return
+		}
+	}
+
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	reqs := make([]mctop.PlaceRequest, len(req.Requests))
+	for i, item := range req.Requests {
+		reqs[i] = mctop.PlaceRequest{Policy: item.Policy, NThreads: item.Threads}
+	}
+	start := time.Now()
+	results, err := s.reg.PlaceBatch(req.Platform, seed, opt, reqs)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := batchResponse{
+		Platform: req.Platform,
+		Seed:     seed,
+		Results:  make([]batchItemResponse, len(results)),
+	}
+	for i, res := range results {
+		item := &resp.Results[i]
+		item.Policy = req.Requests[i].Policy
+		if res.Err != nil {
+			item.Error = res.Err.Error()
+			continue
+		}
+		pl := res.Placement
+		item.Policy = pl.Policy().String()
+		item.NThreads = pl.NThreads()
+		item.Contexts = pl.Contexts()
+		item.NCores = pl.NCores()
+		item.CtxPerSocket = pl.CtxPerSocket()
+		item.MaxLatency = pl.MaxLatency()
+		item.MinBandwidth = pl.MinBandwidth()
+	}
+	resp.ServedIn = time.Since(start).String()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -159,3 +159,110 @@ func TestPlaceEndpointAndStats(t *testing.T) {
 		t.Errorf("inferences = %d, want 2 (placements must reuse cached topologies)", st.Inferences)
 	}
 }
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/place/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestPlaceBatchEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer().routes())
+	defer ts.Close()
+
+	resp, body := postBatch(t, ts, `{
+		"platform": "Ivy", "seed": 42, "reps": 51,
+		"requests": [
+			{"policy": "CON_HWC", "threads": 30},
+			{"policy": "RR_CORE", "threads": 8},
+			{"policy": "NOPE", "threads": 4}
+		]
+	}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Platform != "Ivy" || br.Seed != 42 || len(br.Results) != 3 {
+		t.Fatalf("batch response: %+v", br)
+	}
+	if br.Results[0].NThreads != 30 || br.Results[0].NCores != 15 || br.Results[0].Error != "" {
+		t.Fatalf("CON_HWC item: %+v", br.Results[0])
+	}
+	if br.Results[1].NThreads != 8 || len(br.Results[1].Contexts) != 8 {
+		t.Fatalf("RR_CORE item: %+v", br.Results[1])
+	}
+	if br.Results[2].Error == "" || br.Results[2].Contexts != nil {
+		t.Fatalf("unknown policy must fail inline: %+v", br.Results[2])
+	}
+
+	// The batch answers must match the single-request endpoint exactly.
+	_, single := get(t, ts, "/v1/place?platform=Ivy&seed=42&reps=51&policy=CON_HWC&threads=30")
+	var pr placeResponse
+	if err := json.Unmarshal(single, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Contexts) != len(br.Results[0].Contexts) {
+		t.Fatalf("batch and single disagree: %v vs %v", br.Results[0].Contexts, pr.Contexts)
+	}
+	for i := range pr.Contexts {
+		if pr.Contexts[i] != br.Results[0].Contexts[i] {
+			t.Fatalf("batch and single disagree at %d: %v vs %v", i, br.Results[0].Contexts, pr.Contexts)
+		}
+	}
+
+	// The whole batch (3 placements) plus the single request cost one
+	// inference.
+	_, body = get(t, ts, "/v1/stats")
+	var st struct{ Inferences int64 }
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Inferences != 1 {
+		t.Errorf("inferences = %d, want 1 (batch must share one topology lookup)", st.Inferences)
+	}
+
+	// An absent seed defaults to 42, like the GET endpoints.
+	_, body = postBatch(t, ts, `{"platform": "Ivy", "reps": 51, "requests": [{"policy": "SEQUENTIAL"}]}`)
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Seed != 42 {
+		t.Errorf("default seed = %d, want 42", br.Seed)
+	}
+
+	// Client errors: wrong method, bad JSON, unknown platform, empty and
+	// oversized batches, negative threads.
+	if resp, _ := get(t, ts, "/v1/place/batch"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on batch: status %d, want 405", resp.StatusCode)
+	}
+	if resp, _ := postBatch(t, ts, `{not json`); resp.StatusCode != 400 {
+		t.Errorf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postBatch(t, ts, `{"platform": "Nope", "requests": [{"policy": "RR_CORE"}]}`); resp.StatusCode != 400 {
+		t.Errorf("unknown platform: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postBatch(t, ts, `{"platform": "Ivy", "requests": []}`); resp.StatusCode != 400 {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postBatch(t, ts, `{"platform": "Ivy", "reps": 50000, "requests": [{"policy": "RR_CORE"}]}`); resp.StatusCode != 400 {
+		t.Errorf("oversized reps: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postBatch(t, ts, `{"platform": "Ivy", "requests": [{"policy": "RR_CORE", "threads": -1}]}`); resp.StatusCode != 400 {
+		t.Errorf("negative threads: status %d, want 400", resp.StatusCode)
+	}
+	big := `{"platform": "Ivy", "requests": [` + strings.Repeat(`{"policy": "RR_CORE"},`, 1024) + `{"policy": "RR_CORE"}]}`
+	if resp, _ := postBatch(t, ts, big); resp.StatusCode != 400 {
+		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -68,19 +68,22 @@ type OSView struct {
 	NodeOfSocket []int // socket -> OS-claimed local memory node
 }
 
-// Forker is the optional extension implemented by machines whose pair
+// Forker is the optional extension implemented by machines whose
 // measurements can run concurrently. ForkPair returns an independent machine
-// dedicated to measuring the (x, y) context pair: it shares no mutable state
-// with the parent or with other forks, and its noise stream is a pure
-// function of (parent seed, x, y). MCTOP-ALG uses forks to parallelize its
-// O(N²) measurement phase with results byte-identical to a sequential run —
-// pair values cannot depend on scheduling order because every pair observes
-// its own deterministic stream.
+// dedicated to one measurement, named by a pair of integer tags: it shares
+// no mutable state with the parent or with other forks, and its noise stream
+// is a pure function of (parent seed, tag0, tag1). MCTOP-ALG forks one
+// machine per (x, y) context pair to parallelize its O(N²) measurement
+// phase with results byte-identical to a sequential run — pair values cannot
+// depend on scheduling order because every pair observes its own
+// deterministic stream. The enrichment plugins fork one machine per probe
+// the same way, using tag0 values ≥ 1<<20 (far above any real context id)
+// so probe streams never collide with measurement-pair streams.
 //
-// Real hosts must NOT implement Forker: concurrent pair measurements perturb
+// Real hosts must NOT implement Forker: concurrent measurements perturb
 // each other through shared caches, interconnect and DVFS (Section 3.5:
 // "using more threads increases variability"). The simulator, which models
-// exactly one pair at a time, can.
+// exactly one measurement at a time, can.
 type Forker interface {
 	ForkPair(xCtx, yCtx int) (Machine, error)
 }

@@ -94,14 +94,24 @@ func Policies() []Policy {
 		BalanceHWC, BalanceCoreHWC, BalanceCore, RRCore, RRHWC, PowerPolicy, RRScale}
 }
 
+// policyByName is ParsePolicy's reverse lookup — both the full
+// MCTOP_PLACE_* name and the bare suffix, uppercase — built once at package
+// init: mctopd parses a policy per placement request, so the per-call
+// iteration over policyNames was serving-path overhead.
+var policyByName = func() map[string]Policy {
+	m := make(map[string]Policy, 2*len(policyNames))
+	for p, n := range policyNames {
+		m[n] = p
+		m[strings.TrimPrefix(n, "MCTOP_PLACE_")] = p
+	}
+	return m
+}()
+
 // ParsePolicy resolves a policy from its name (with or without the
 // MCTOP_PLACE_ prefix, case-insensitive).
 func ParsePolicy(s string) (Policy, error) {
-	u := strings.ToUpper(strings.TrimSpace(s))
-	for p, n := range policyNames {
-		if u == n || "MCTOP_PLACE_"+u == n {
-			return p, nil
-		}
+	if p, ok := policyByName[strings.ToUpper(strings.TrimSpace(s))]; ok {
+		return p, nil
 	}
 	return None, fmt.Errorf("%w: unknown policy %q", ErrInvalid, s)
 }
@@ -124,6 +134,10 @@ type Placement struct {
 
 	mu    sync.Mutex
 	taken []bool
+	// free is the lowest slot that may be unclaimed: every slot below it is
+	// taken, so PinNext starts scanning here instead of at 0 — O(1)
+	// amortized on the pin-heavy serving path. Unpin moves it back down.
+	free int
 }
 
 // New computes a placement for the policy. It fails for PowerPolicy on
@@ -284,7 +298,7 @@ func buildOrder(t *topo.Topology, policy Policy, nSockets, nThreads int) ([]int,
 				perSocket[i] = coreHWCOrder(t, s)
 			}
 		}
-		return roundRobin(perSocket, 0), nil
+		return roundRobin(perSocket, nThreads), nil
 
 	case RRScale:
 		sockets := socketOrder(t, false, nSockets)
@@ -304,7 +318,7 @@ func buildOrder(t *topo.Topology, policy Policy, nSockets, nThreads int) ([]int,
 			}
 			perSocket[i] = order[:cap]
 		}
-		return roundRobin(perSocket, 0), nil
+		return roundRobin(perSocket, nThreads), nil
 
 	case PowerPolicy:
 		return powerOrder(t, nSockets, nThreads), nil
@@ -312,7 +326,10 @@ func buildOrder(t *topo.Topology, policy Policy, nSockets, nThreads int) ([]int,
 	return nil, fmt.Errorf("place: unhandled policy %v", policy)
 }
 
-// roundRobin interleaves the per-socket context lists.
+// roundRobin interleaves the per-socket context lists, stopping after limit
+// slots (0 = no limit): when NThreads is small there is no point building —
+// and allocating — the full-machine order only for New to slice off a
+// prefix. The first limit slots are identical to the unlimited interleave.
 func roundRobin(perSocket [][]int, limit int) []int {
 	var out []int
 	idx := make([]int, len(perSocket))
@@ -337,7 +354,91 @@ func roundRobin(perSocket [][]int, limit int) []int {
 // powerOrder greedily adds the context whose activation increases the
 // estimated package power the least — SMT siblings of already active cores
 // first, then new cores on active sockets, then new sockets.
+//
+// The pre-index implementation (powerOrderScan below) ran a full
+// PowerEstimate for every remaining context at every step: O(n²) estimates,
+// each O(ctxs). But a candidate's power delta depends only on its class —
+// SMT sibling of an active core, first context of an inactive core on an
+// active socket, or first context of an inactive socket — so each step only
+// needs to evaluate the lowest-id representative of each class: at most
+// three estimates per step, and the same winner the exhaustive scan finds
+// (its ID-ascending strict-< scan picks the lowest-id context of the
+// cheapest class). The equivalence is property-tested against the scan on
+// all five golden platforms.
 func powerOrder(t *topo.Topology, nSockets, nThreads int) []int {
+	allowed := make([]bool, t.NumSockets())
+	for _, s := range socketOrder(t, false, nSockets) {
+		allowed[s.ID] = true
+	}
+	n := nThreads
+	if n == 0 || n > t.NumHWContexts() {
+		// The greedy can never choose more than one slot per context, so
+		// capping n here changes nothing — except that the scratch
+		// capacities below stay machine-sized even when a request asks for
+		// a huge thread count (mctopd validates only threads >= 0).
+		n = t.NumHWContexts()
+	}
+	contexts := t.Contexts()
+	inUse := make([]bool, len(contexts))
+	coreCt := make(map[*topo.HWCGroup]int, t.NumCores())
+	sockActive := make([]bool, t.NumSockets())
+	chosen := make([]int, 0, n)
+	scratch := make([]int, 0, n+1)
+	for len(chosen) < n {
+		// Lowest-id representative of each delta class.
+		repSib, repCore, repSock := -1, -1, -1
+		for _, c := range contexts {
+			if inUse[c.ID] || !allowed[c.Socket.ID] {
+				continue
+			}
+			switch {
+			case coreCt[c.Core] > 0:
+				if repSib == -1 {
+					repSib = c.ID
+				}
+			case sockActive[c.Socket.ID]:
+				if repCore == -1 {
+					repCore = c.ID
+				}
+			default:
+				if repSock == -1 {
+					repSock = c.ID
+				}
+			}
+			if repSib >= 0 && repCore >= 0 && repSock >= 0 {
+				break
+			}
+		}
+		_, cur := t.PowerEstimate(chosen, false)
+		best, bestDelta := -1, 0.0
+		for _, cand := range [3]int{repSib, repCore, repSock} {
+			if cand == -1 {
+				continue
+			}
+			scratch = append(scratch[:0], chosen...)
+			scratch = append(scratch, cand)
+			_, with := t.PowerEstimate(scratch, false)
+			delta := with - cur
+			if best == -1 || delta < bestDelta || (delta == bestDelta && cand < best) {
+				best, bestDelta = cand, delta
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := contexts[best]
+		chosen = append(chosen, best)
+		inUse[best] = true
+		coreCt[c.Core]++
+		sockActive[c.Socket.ID] = true
+	}
+	return chosen
+}
+
+// powerOrderScan is the pre-index powerOrder: a full PowerEstimate per
+// remaining candidate per step. Kept as the reference powerOrder is
+// property-tested (and benchmarked) against.
+func powerOrderScan(t *topo.Topology, nSockets, nThreads int) []int {
 	allowed := map[int]bool{}
 	for _, s := range socketOrder(t, false, nSockets) {
 		allowed[s.ID] = true
@@ -390,13 +491,16 @@ func (p *Placement) NThreads() int { return len(p.ctxs) }
 func (p *Placement) PinNext() (ctx int, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for i, t := range p.taken {
-		if !t {
-			p.taken[i] = true
-			return p.ctxs[i], true
-		}
+	for p.free < len(p.taken) && p.taken[p.free] {
+		p.free++
 	}
-	return -1, false
+	if p.free == len(p.taken) {
+		return -1, false
+	}
+	p.taken[p.free] = true
+	ctx = p.ctxs[p.free]
+	p.free++
+	return ctx, true
 }
 
 // Unpin returns a context claimed by PinNext to the placement.
@@ -406,6 +510,9 @@ func (p *Placement) Unpin(ctx int) {
 	for i := range p.ctxs {
 		if p.ctxs[i] == ctx && p.taken[i] {
 			p.taken[i] = false
+			if i < p.free {
+				p.free = i
+			}
 			return
 		}
 	}

@@ -11,7 +11,10 @@ package plugins
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -43,15 +46,25 @@ func All() []Plugin {
 	return []Plugin{MemLatency{}, MemBandwidth{}, Cache{}, Power{}}
 }
 
-// Enrich runs the given plugins (All() if nil) over a topology and returns
-// the enriched, rebuilt topology. Unsupported plugins are skipped.
-func Enrich(m machine.Machine, t *topo.Topology, ps []Plugin) (*topo.Topology, error) {
+// The three measurement-heavy plugins run fork-per-probe under
+// EnrichForked; Power stays sequential (its probes are closed-form model
+// reads, not timed measurements).
+var (
+	_ ForkedPlugin = MemLatency{}
+	_ ForkedPlugin = MemBandwidth{}
+	_ ForkedPlugin = Cache{}
+)
+
+// enrich runs each plugin (All() if ps is nil) through run, skipping
+// unsupported ones, and rebuilds the topology from the enriched spec — the
+// loop both Enrich and EnrichForked share.
+func enrich(t *topo.Topology, ps []Plugin, run func(Plugin, *topo.Spec) error) (*topo.Topology, error) {
 	if ps == nil {
 		ps = All()
 	}
 	spec := t.Spec()
 	for _, p := range ps {
-		err := p.Run(m, t, &spec)
+		err := run(p, &spec)
 		if err == nil {
 			continue
 		}
@@ -61,6 +74,110 @@ func Enrich(m machine.Machine, t *topo.Topology, ps []Plugin) (*topo.Topology, e
 		return nil, fmt.Errorf("plugins: %s: %w", p.Name(), err)
 	}
 	return topo.FromSpec(spec)
+}
+
+// Enrich runs the given plugins (All() if nil) over a topology and returns
+// the enriched, rebuilt topology. Unsupported plugins are skipped. Probes
+// run sequentially through the parent machine's single noise stream — the
+// behavior description files were generated with.
+func Enrich(m machine.Machine, t *topo.Topology, ps []Plugin) (*topo.Topology, error) {
+	return enrich(t, ps, func(p Plugin, spec *topo.Spec) error {
+		return p.Run(m, t, spec)
+	})
+}
+
+// ForkedPlugin is the optional extension implemented by plugins whose
+// probes can run on independent machine forks (the same pattern as
+// MCTOP-ALG's parallel measurement phase: workers only decide when a probe
+// runs, never what it observes).
+type ForkedPlugin interface {
+	Plugin
+	// RunForked is Run with every probe measured on its own fork, fanned
+	// out over the given worker count (<= 0 means GOMAXPROCS).
+	RunForked(fk machine.Forker, m machine.Machine, t *topo.Topology, spec *topo.Spec, workers int) error
+}
+
+// Probe-stream tags: each forked probe observes the noise stream derived
+// from (seed, tag+plugin, probe index). The base is far above any real
+// context id, so probe streams never collide with MCTOP-ALG's per-pair
+// measurement streams (which use ForkPair(x, y) with context ids).
+const (
+	probeTagMemLat = 1<<20 + iota
+	probeTagMemBW
+	probeTagCache
+)
+
+// EnrichForked is Enrich with the probes of fork-capable plugins measured
+// on independent forks over a bounded worker pool. For a fixed machine seed
+// the result is deterministic and byte-identical for every worker count —
+// each probe's noise stream is a pure function of (seed, plugin, probe) and
+// results merge in canonical probe order — but it differs from Enrich's
+// (equally valid) measurements by the noise amplitude, because Enrich's
+// probes share the parent machine's one sequential stream. Description
+// files and golden fixtures are generated with Enrich; opt in to
+// EnrichForked where enrichment latency matters more than byte-stability
+// against those fixtures. Machines without machine.Forker fall back to
+// Enrich, as do plugins without RunForked.
+func EnrichForked(m machine.Machine, t *topo.Topology, ps []Plugin, workers int) (*topo.Topology, error) {
+	fk, ok := m.(machine.Forker)
+	if !ok {
+		return Enrich(m, t, ps)
+	}
+	return enrich(t, ps, func(p Plugin, spec *topo.Spec) error {
+		if fp, ok := p.(ForkedPlugin); ok {
+			return fp.RunForked(fk, m, t, spec, workers)
+		}
+		return p.Run(m, t, spec)
+	})
+}
+
+// forkProbes runs n independent probes over a bounded worker pool, probe i
+// on the fork ForkPair(tag, i), and returns the results in probe order. Any
+// probe error fails the whole run (and stops scheduling further probes).
+func forkProbes[T any](fk machine.Forker, tag, n, workers int, probe func(m machine.Machine, i int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var next int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				fm, err := fk.ForkPair(tag, i)
+				if err == nil {
+					out[i], err = probe(fm, i)
+				}
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
 }
 
 // repCtx returns a representative hardware context of each socket (its
@@ -143,6 +260,43 @@ func (p MemLatency) Run(m machine.Machine, t *topo.Topology, spec *topo.Spec) er
 	return nil
 }
 
+// RunForked implements ForkedPlugin: one fork per (socket, node) probe.
+func (p MemLatency) RunForked(fk machine.Forker, m machine.Machine, t *topo.Topology, spec *topo.Spec, workers int) error {
+	if _, ok := m.(machine.MemoryProber); !ok {
+		return ErrUnsupported{p.Name()}
+	}
+	probes := p.Probes
+	if probes <= 0 {
+		probes = 512
+	}
+	reps := repCtx(t)
+	nN := t.NumNodes()
+	vals, err := forkProbes(fk, probeTagMemLat, len(reps)*nN, workers, func(fm machine.Machine, i int) (int64, error) {
+		prober, ok := fm.(machine.MemoryProber)
+		if !ok {
+			return 0, fmt.Errorf("fork of %s does not support memory probes", m.Name())
+		}
+		s, n := i/nN, i%nN
+		th, err := fm.NewThread(reps[s])
+		if err != nil {
+			return 0, err
+		}
+		dvfsWait(fm, th)
+		return medianOfChunks(16, func(chunk int) int64 {
+			return prober.MemRandomAccess(th, n, chunk)
+		}, probes), nil
+	})
+	if err != nil {
+		return err
+	}
+	lat := make([][]int64, len(reps))
+	for s := range lat {
+		lat[s] = vals[s*nN : (s+1)*nN]
+	}
+	spec.MemLat = lat
+	return nil
+}
+
 // medianOfChunks splits total accesses into nChunks batches, computes the
 // per-access average of each batch, and returns the median — robust against
 // the occasional spurious spike (an interrupt or background process) that
@@ -168,40 +322,35 @@ type MemBandwidth struct{}
 // Name implements Plugin.
 func (MemBandwidth) Name() string { return "mem-bandwidth" }
 
-// Run implements Plugin.
-func (p MemBandwidth) Run(m machine.Machine, t *topo.Topology, spec *topo.Spec) error {
-	prober, ok := m.(machine.MemoryProber)
-	if !ok {
-		return ErrUnsupported{p.Name()}
+// streamCtxs returns one context per core of the socket, in core order —
+// the streaming team of the bandwidth saturation sweep.
+func streamCtxs(t *topo.Topology, sock *topo.Socket) []int {
+	var ctxs []int
+	for _, core := range t.SocketGetCores(sock) {
+		ctxs = append(ctxs, core.Contexts[0].ID)
 	}
-	bw := make([][]float64, t.NumSockets())
-	for s, sock := range t.Sockets() {
-		bw[s] = make([]float64, t.NumNodes())
-		// One context per core of this socket, in core order.
-		var ctxs []int
-		for _, core := range t.SocketGetCores(sock) {
-			ctxs = append(ctxs, core.Contexts[0].ID)
+	return ctxs
+}
+
+// saturatedBW streams from node with an increasing number of cores until
+// the aggregate stops improving (Section 4).
+func saturatedBW(prober machine.MemoryProber, ctxs []int, node int) float64 {
+	best := 0.0
+	for k := 1; k <= len(ctxs); k++ {
+		cur := prober.StreamBandwidth(ctxs[:k], node)
+		if cur <= best*1.005 { // saturated
+			break
 		}
-		for n := 0; n < t.NumNodes(); n++ {
-			best := 0.0
-			for k := 1; k <= len(ctxs); k++ {
-				cur := prober.StreamBandwidth(ctxs[:k], n)
-				if cur <= best*1.005 { // saturated
-					break
-				}
-				best = cur
-			}
-			bw[s][n] = best
-		}
-		if s == 0 && len(ctxs) > 0 {
-			spec.StreamCoreBW = prober.StreamBandwidth(ctxs[:1], t.Sockets()[0].Local.ID)
-		}
+		best = cur
 	}
-	spec.MemBW = bw
-	// Interconnect bandwidths fall out of the same measurements: the
-	// bandwidth from socket A to socket B's local node is limited by the
-	// link(s) between them — this fills the cross-socket graph's GB/s
-	// labels (Figures 1b, 2b) and feeds the reduction-tree planner.
+	return best
+}
+
+// fillSocketBW derives the interconnect bandwidths: the bandwidth from
+// socket A to socket B's local node is limited by the link(s) between
+// them — this fills the cross-socket graph's GB/s labels (Figures 1b, 2b)
+// and feeds the reduction-tree planner.
+func fillSocketBW(t *topo.Topology, bw [][]float64, spec *topo.Spec) {
 	nS := t.NumSockets()
 	sbw := make([][]float64, nS)
 	for a := 0; a < nS; a++ {
@@ -214,6 +363,71 @@ func (p MemBandwidth) Run(m machine.Machine, t *topo.Topology, spec *topo.Spec) 
 		}
 	}
 	spec.SocketBW = sbw
+}
+
+// Run implements Plugin.
+func (p MemBandwidth) Run(m machine.Machine, t *topo.Topology, spec *topo.Spec) error {
+	prober, ok := m.(machine.MemoryProber)
+	if !ok {
+		return ErrUnsupported{p.Name()}
+	}
+	bw := make([][]float64, t.NumSockets())
+	for s, sock := range t.Sockets() {
+		bw[s] = make([]float64, t.NumNodes())
+		ctxs := streamCtxs(t, sock)
+		for n := 0; n < t.NumNodes(); n++ {
+			bw[s][n] = saturatedBW(prober, ctxs, n)
+		}
+		if s == 0 && len(ctxs) > 0 {
+			spec.StreamCoreBW = prober.StreamBandwidth(ctxs[:1], t.Sockets()[0].Local.ID)
+		}
+	}
+	spec.MemBW = bw
+	fillSocketBW(t, bw, spec)
+	return nil
+}
+
+// RunForked implements ForkedPlugin: one fork per (socket, node) sweep. The
+// simulator's streaming model is noise-free, so forked and sequential
+// bandwidth measurements agree exactly; forking still buys the wall-clock
+// fan-out on large machines (Westmere: 8 sockets × 8 nodes).
+func (p MemBandwidth) RunForked(fk machine.Forker, m machine.Machine, t *topo.Topology, spec *topo.Spec, workers int) error {
+	if _, ok := m.(machine.MemoryProber); !ok {
+		return ErrUnsupported{p.Name()}
+	}
+	nN := t.NumNodes()
+	sockets := t.Sockets()
+	local0 := sockets[0].Local.ID
+	type bwProbe struct {
+		best float64
+		core float64 // single-core streaming BW, only from the (0, local0) probe
+	}
+	vals, err := forkProbes(fk, probeTagMemBW, len(sockets)*nN, workers, func(fm machine.Machine, i int) (bwProbe, error) {
+		prober, ok := fm.(machine.MemoryProber)
+		if !ok {
+			return bwProbe{}, fmt.Errorf("fork of %s does not support memory probes", m.Name())
+		}
+		s, n := i/nN, i%nN
+		ctxs := streamCtxs(t, sockets[s])
+		out := bwProbe{best: saturatedBW(prober, ctxs, n)}
+		if s == 0 && n == local0 && len(ctxs) > 0 {
+			out.core = prober.StreamBandwidth(ctxs[:1], local0)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	bw := make([][]float64, len(sockets))
+	for s := range bw {
+		bw[s] = make([]float64, nN)
+		for n := 0; n < nN; n++ {
+			bw[s][n] = vals[s*nN+n].best
+		}
+	}
+	spec.StreamCoreBW = vals[local0].core
+	spec.MemBW = bw
+	fillSocketBW(t, bw, spec)
 	return nil
 }
 
@@ -228,6 +442,48 @@ type Cache struct {
 
 // Name implements Plugin.
 func (Cache) Name() string { return "cache" }
+
+// cacheSweepSizes returns the working-set sweep: 4 KB to 128 MB in x2
+// steps.
+func cacheSweepSizes() []int64 {
+	var sizes []int64
+	for ws := int64(4 << 10); ws <= 128<<20; ws *= 2 {
+		sizes = append(sizes, ws)
+	}
+	return sizes
+}
+
+// cacheInfoFromSweep detects the latency plateaus of a working-set sweep: a
+// step is a >= 1.5x jump between consecutive samples. The plateau latencies
+// are the cache latencies; the last working set before a jump estimates the
+// level's size. The OS knows the exact sizes; they are preferred when
+// available.
+func cacheInfoFromSweep(sizes, lats []int64, prober machine.MemoryProber) *topo.CacheInfo {
+	var stepIdx []int
+	for i := 1; i < len(lats); i++ {
+		if float64(lats[i]) >= 1.5*float64(lats[i-1]) {
+			stepIdx = append(stepIdx, i)
+		}
+	}
+	ci := &topo.CacheInfo{}
+	// Latencies: first plateau = L1; then after each step.
+	ci.LatL1 = lats[0]
+	if len(stepIdx) > 0 {
+		ci.LatL2 = lats[stepIdx[0]]
+		ci.SizeL1 = sizes[stepIdx[0]-1]
+	}
+	if len(stepIdx) > 1 {
+		ci.LatLLC = lats[stepIdx[1]]
+		ci.SizeL2 = sizes[stepIdx[1]-1]
+	}
+	if len(stepIdx) > 2 {
+		ci.SizeLLC = sizes[stepIdx[2]-1]
+	}
+	if l1, l2, llc := prober.CacheSizes(); l1 > 0 {
+		ci.SizeL1, ci.SizeL2, ci.SizeLLC = l1, l2, llc
+	}
+	return ci
+}
 
 // Run implements Plugin.
 func (p Cache) Run(m machine.Machine, t *topo.Topology, spec *topo.Spec) error {
@@ -244,47 +500,49 @@ func (p Cache) Run(m machine.Machine, t *topo.Topology, spec *topo.Spec) error {
 		return err
 	}
 	dvfsWait(m, th)
-	// Sweep working sets from 4 KB to 128 MB in x2 steps; record per-load
-	// latency.
-	type sample struct {
-		ws  int64
-		lat int64
-	}
-	var samples []sample
-	for ws := int64(4 << 10); ws <= 128<<20; ws *= 2 {
-		lat := medianOfChunks(16, func(chunk int) int64 {
+	sizes := cacheSweepSizes()
+	lats := make([]int64, len(sizes))
+	for i, ws := range sizes {
+		ws := ws
+		lats[i] = medianOfChunks(16, func(chunk int) int64 {
 			return prober.CacheWorkingSetLoads(th, ws, chunk)
 		}, loads)
-		samples = append(samples, sample{ws, lat})
 	}
-	// Detect the latency plateaus: a step is a >= 1.5x jump between
-	// consecutive samples. The plateau latencies are the cache latencies;
-	// the last working set before a jump estimates the level's size.
-	var stepIdx []int
-	for i := 1; i < len(samples); i++ {
-		if float64(samples[i].lat) >= 1.5*float64(samples[i-1].lat) {
-			stepIdx = append(stepIdx, i)
+	spec.Cache = cacheInfoFromSweep(sizes, lats, prober)
+	return nil
+}
+
+// RunForked implements ForkedPlugin: one fork per working-set size.
+func (p Cache) RunForked(fk machine.Forker, m machine.Machine, t *topo.Topology, spec *topo.Spec, workers int) error {
+	prober, ok := m.(machine.MemoryProber)
+	if !ok {
+		return ErrUnsupported{p.Name()}
+	}
+	loads := p.Loads
+	if loads <= 0 {
+		loads = 256
+	}
+	sizes := cacheSweepSizes()
+	lats, err := forkProbes(fk, probeTagCache, len(sizes), workers, func(fm machine.Machine, i int) (int64, error) {
+		fprober, ok := fm.(machine.MemoryProber)
+		if !ok {
+			return 0, fmt.Errorf("fork of %s does not support memory probes", m.Name())
 		}
+		th, err := fm.NewThread(0)
+		if err != nil {
+			return 0, err
+		}
+		dvfsWait(fm, th)
+		return medianOfChunks(16, func(chunk int) int64 {
+			return fprober.CacheWorkingSetLoads(th, sizes[i], chunk)
+		}, loads), nil
+	})
+	if err != nil {
+		return err
 	}
-	ci := &topo.CacheInfo{}
-	// Latencies: first plateau = L1; then after each step.
-	ci.LatL1 = samples[0].lat
-	if len(stepIdx) > 0 {
-		ci.LatL2 = samples[stepIdx[0]].lat
-		ci.SizeL1 = samples[stepIdx[0]-1].ws
-	}
-	if len(stepIdx) > 1 {
-		ci.LatLLC = samples[stepIdx[1]].lat
-		ci.SizeL2 = samples[stepIdx[1]-1].ws
-	}
-	if len(stepIdx) > 2 {
-		ci.SizeLLC = samples[stepIdx[2]-1].ws
-	}
-	// The OS knows the exact sizes; prefer them when available.
-	if l1, l2, llc := prober.CacheSizes(); l1 > 0 {
-		ci.SizeL1, ci.SizeL2, ci.SizeLLC = l1, l2, llc
-	}
-	spec.Cache = ci
+	// Step detection runs on the merged sweep; the OS-reported sizes come
+	// from the parent prober (they are static data, not a measurement).
+	spec.Cache = cacheInfoFromSweep(sizes, lats, prober)
 	return nil
 }
 

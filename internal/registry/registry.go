@@ -245,6 +245,8 @@ func topoKey(platform string, seed uint64, opt mctopalg.Options) string {
 	b = strconv.AppendInt(b, o.SpinUnit, 10)
 	b = append(b, ",smp"...)
 	b = strconv.AppendBool(b, o.SkipMemoryProbe)
+	b = append(b, ",fe"...)
+	b = strconv.AppendBool(b, o.ForkedEnrich)
 	return string(b)
 }
 
@@ -279,6 +281,20 @@ func (r *Registry) LookupTopology(platform string, seed uint64, opt mctopalg.Opt
 	return v.(*topo.Topology), hit, nil
 }
 
+// placeKey extends a topology key with the placement parameters. Built with
+// appends for the same reason topoKey is: one of these is assembled per
+// placement request on the serving hot path.
+func placeKey(tk string, pol place.Policy, nThreads int) string {
+	b := make([]byte, 0, len(tk)+32)
+	b = append(b, "place|"...)
+	b = append(b, tk...)
+	b = append(b, '|')
+	b = append(b, pol.String()...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(nThreads), 10)
+	return string(b)
+}
+
 // Place returns the memoized placement of nThreads threads under the named
 // policy (as accepted by place.ParsePolicy) on the memoized topology for
 // (platform, seed, opt). The placement is shared between callers: treat it
@@ -289,7 +305,7 @@ func (r *Registry) Place(platform string, seed uint64, opt mctopalg.Options, pol
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("place|%s|%v|%d", topoKey(platform, seed, opt), pol, nThreads)
+	key := placeKey(topoKey(platform, seed, opt), pol, nThreads)
 	v, _, err := r.get(key, func() (any, error) {
 		t, err := r.Topology(platform, seed, opt)
 		if err != nil {
@@ -302,6 +318,53 @@ func (r *Registry) Place(platform string, seed uint64, opt mctopalg.Options, pol
 		return nil, err
 	}
 	return v.(*place.Placement), nil
+}
+
+// PlaceRequest is one (policy, threads) pair of a PlaceBatch call.
+type PlaceRequest struct {
+	Policy   string
+	NThreads int
+}
+
+// BatchResult is one PlaceBatch answer: a placement, or the per-request
+// error that produced none (unknown policy, POWER without power data, …).
+type BatchResult struct {
+	Placement *place.Placement
+	Err       error
+}
+
+// PlaceBatch answers many placement requests against one topology in a
+// single call: the (platform, seed, opt) lookup — and, on a cold start, the
+// O(N²) inference — happens once, and every request is served from the same
+// topology's precomputed query index. Results are cached under the same
+// keys Place uses, so batch and single-request traffic share entries.
+// Per-request failures land in the matching BatchResult; the returned error
+// is reserved for the topology itself being unavailable.
+func (r *Registry) PlaceBatch(platform string, seed uint64, opt mctopalg.Options, reqs []PlaceRequest) ([]BatchResult, error) {
+	t, _, err := r.LookupTopology(platform, seed, opt)
+	if err != nil {
+		return nil, err
+	}
+	tk := topoKey(platform, seed, opt)
+	out := make([]BatchResult, len(reqs))
+	for i, req := range reqs {
+		pol, err := place.ParsePolicy(req.Policy)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		nThreads := req.NThreads
+		v, _, err := r.get(placeKey(tk, pol, nThreads), func() (any, error) {
+			r.placements.Add(1)
+			return place.New(t, pol, place.Options{NThreads: nThreads})
+		})
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Placement = v.(*place.Placement)
+	}
+	return out, nil
 }
 
 // Stats snapshots the registry's counters.

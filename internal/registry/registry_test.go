@@ -410,3 +410,123 @@ func TestShardingSpreadsKeys(t *testing.T) {
 		t.Fatalf("64 keys landed on %d shard(s); hashing is broken", len(used))
 	}
 }
+
+// TestPlaceBatchSharesTopologyAndCache: a batch must infer at most once,
+// share cache entries with single-request Place calls, and report
+// per-request errors without failing the whole batch.
+func TestPlaceBatchSharesTopologyAndCache(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Infer: func(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
+		calls.Add(1)
+		return realInfer(platform, seed, opt)
+	}})
+	opt := mctopalg.Options{Reps: 51}
+
+	reqs := []PlaceRequest{
+		{Policy: "CON_HWC", NThreads: 30},
+		{Policy: "RR_CORE", NThreads: 8},
+		{Policy: "NO_SUCH_POLICY", NThreads: 4},
+		{Policy: "SEQUENTIAL", NThreads: 0},
+	}
+	results, err := r.PlaceBatch("Ivy", 42, opt, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("inferences = %d, want 1 (the batch must share one topology lookup)", calls.Load())
+	}
+	for i, res := range results {
+		wantErr := reqs[i].Policy == "NO_SUCH_POLICY"
+		if wantErr {
+			if !errors.Is(res.Err, place.ErrInvalid) {
+				t.Errorf("request %d: err = %v, want ErrInvalid", i, res.Err)
+			}
+			continue
+		}
+		if res.Err != nil || res.Placement == nil {
+			t.Fatalf("request %d: (%v, %v)", i, res.Placement, res.Err)
+		}
+	}
+	if got := results[0].Placement.NThreads(); got != 30 {
+		t.Errorf("CON_HWC placement has %d threads, want 30", got)
+	}
+
+	// Batch entries and single-request entries share the cache: the same
+	// placement pointer comes back both ways, with no new inference.
+	single, err := r.Place("Ivy", 42, opt, "CON_HWC", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != results[0].Placement {
+		t.Error("single Place after PlaceBatch returned a distinct placement")
+	}
+	again, err := r.PlaceBatch("Ivy", 42, opt, reqs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Placement != results[0].Placement || again[1].Placement != results[1].Placement {
+		t.Error("repeated PlaceBatch returned distinct placements")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("inferences = %d after reuse, want 1", calls.Load())
+	}
+
+	// Topology-level failures fail the whole batch.
+	if _, err := r.PlaceBatch("NoSuchPlatform", 42, opt, reqs); err == nil {
+		t.Fatal("PlaceBatch on an unknown platform should fail")
+	}
+	// An empty batch is answered (it still resolves the topology).
+	empty, err := r.PlaceBatch("Ivy", 42, opt, nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: (%v, %v)", empty, err)
+	}
+}
+
+// TestPlaceBatchConcurrent hammers PlaceBatch from many goroutines (run
+// with -race); every caller must see the same shared placements.
+func TestPlaceBatchConcurrent(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Infer: func(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
+		calls.Add(1)
+		return realInfer(platform, seed, opt)
+	}})
+	opt := mctopalg.Options{Reps: 51}
+	reqs := []PlaceRequest{
+		{Policy: "CON_HWC", NThreads: 16},
+		{Policy: "BALANCE_CORE", NThreads: 12},
+		{Policy: "RR_HWC", NThreads: 0},
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	got := make([][]BatchResult, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.PlaceBatch("Ivy", 7, opt, reqs)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			got[g] = res
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("inferences = %d, want 1", calls.Load())
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := range reqs {
+			if got[g] == nil || got[0] == nil {
+				t.Fatal("missing results")
+			}
+			if got[g][i].Placement != got[0][i].Placement {
+				t.Fatalf("goroutine %d request %d: distinct placement", g, i)
+			}
+		}
+	}
+}

@@ -232,8 +232,19 @@ func (s *Scheduler) Admit(app App) (*Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Evaluate candidates in name order: map iteration would break
+	// predicted-cycle ties at random (an app straddling sockets on one run
+	// and not the next); the strict < below keeps the alphabetically first
+	// candidate — "compact" — on a tie.
+	cands := s.candidates(app.Threads)
+	names := make([]string, 0, len(cands))
+	for name := range cands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var best *Assignment
-	for name, ctxs := range s.candidates(app.Threads) {
+	for _, name := range names {
+		ctxs := cands[name]
 		r, err := exec.Estimate(eff, ctxs, app.Workload)
 		if err != nil {
 			return nil, err

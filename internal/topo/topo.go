@@ -16,6 +16,8 @@ package topo
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // LevelKind classifies a latency level of the topology.
@@ -162,6 +164,12 @@ type Topology struct {
 	power *PowerInfo
 
 	spec Spec // the originating spec, kept for serialization
+
+	// idx is the precomputed query index (see index.go), built lazily on
+	// the first hot-path query; idxOnce makes the build race-free, and the
+	// atomic pointer keeps the steady-state load inlinable.
+	idxOnce sync.Once
+	idx     atomic.Pointer[queryIndex]
 }
 
 // Name returns the platform name the topology was inferred on.
@@ -244,49 +252,33 @@ func (t *Topology) GetLocalNode(ctx int) *Node {
 }
 
 // SocketGetCores returns the cores of a socket — the paper's
-// mctop_socket_get_cores(socket).
+// mctop_socket_get_cores(socket). The result is a copy of the index's
+// memoized per-socket slice, so callers may reorder it freely.
 func (t *Topology) SocketGetCores(s *Socket) []*HWCGroup {
-	var cores []*HWCGroup
-	for _, c := range t.cores {
-		if c.Socket == s {
-			cores = append(cores, c)
-		}
+	if s == nil || s.ID < 0 || s.ID >= len(t.sockets) || t.sockets[s.ID] != s {
+		// A socket of another topology: fall back to the identity scan,
+		// which correctly finds nothing.
+		return t.socketGetCoresScan(s)
 	}
-	return cores
+	cached := t.index().socketCores[s.ID]
+	if cached == nil {
+		return nil
+	}
+	return append([]*HWCGroup(nil), cached...)
 }
 
 // GetLatency returns the communication latency between two hardware
 // contexts — the paper's mctop_get_latency(id0, id1). Zero for a context
-// with itself.
+// with itself. An O(1) matrix lookup (index.go); -1 for unknown contexts.
 func (t *Topology) GetLatency(x, y int) int64 {
 	if x == y {
 		return 0
 	}
-	cx, cy := t.Context(x), t.Context(y)
-	if cx == nil || cy == nil {
+	idx := t.index()
+	if uint(x) >= uint(idx.n) || uint(y) >= uint(idx.n) {
 		return -1
 	}
-	if cx.Socket != cy.Socket {
-		return t.socketLat[cx.Socket.ID][cy.Socket.ID]
-	}
-	// Lowest common group: walk up from the core.
-	gx, gy := cx.Core, cy.Core
-	if gx == gy {
-		if gx.Latency > 0 {
-			return gx.Latency
-		}
-		return 0 // synthesized single-context core
-	}
-	for gx != nil && gy != nil {
-		if gx.Parent == gy.Parent {
-			if gx.Parent != nil {
-				return gx.Parent.Latency
-			}
-			break
-		}
-		gx, gy = gx.Parent, gy.Parent
-	}
-	return cx.Socket.Latency
+	return idx.lat[x*idx.n+y]
 }
 
 // SocketLatency returns the communication latency between two sockets
@@ -309,33 +301,87 @@ func (t *Topology) SocketBW(s1, s2 int) float64 {
 
 // MaxLatency returns the maximum communication latency on the machine —
 // the backoff quantum of the paper's educated-backoff policy when all
-// contexts participate.
+// contexts participate. Memoized in the query index.
 func (t *Topology) MaxLatency() int64 {
-	var max int64
-	for _, row := range t.socketLat {
-		for _, v := range row {
-			if v > max {
-				max = v
-			}
-		}
-	}
-	for _, l := range t.levels {
-		if l.Kind != LevelCross && l.Median > max {
-			max = l.Median
-		}
-	}
-	return max
+	return t.index().maxLat
 }
 
 // MaxLatencyBetween returns the maximum communication latency among the
 // given hardware contexts (Section 5: "the backoff quantum is the maximum
-// latency between any two threads involved in the execution").
+// latency between any two threads involved in the execution"). Instead of
+// the pre-index O(k²) tree walks, participants are bucketed by socket: the
+// cross-socket latency of a pair depends only on its socket pair, so all
+// cross-socket pairs collapse to one socket-matrix lookup per occupied
+// socket pair, and only intra-socket pairs read the context matrix —
+// O(k + s² + Σ kₛ²) array reads, no tree walks. Unknown context ids never
+// contribute (their pairwise latency is -1).
 func (t *Topology) MaxLatencyBetween(ctxs []int) int64 {
+	idx := t.index()
+	// Small sets (the common lock-participant case): the pairwise matrix
+	// loop beats the bucketing below, and allocates nothing.
+	if len(ctxs) <= 8 {
+		var max int64
+		for i := 0; i < len(ctxs); i++ {
+			x := ctxs[i]
+			if x < 0 || x >= idx.n {
+				continue
+			}
+			row := idx.lat[x*idx.n : (x+1)*idx.n]
+			for j := i + 1; j < len(ctxs); j++ {
+				y := ctxs[j]
+				if y >= 0 && y < idx.n && row[y] > max {
+					max = row[y]
+				}
+			}
+		}
+		return max
+	}
+	nS := len(t.sockets)
+	// Bucket the valid participants by socket: counts, then a flat
+	// offset-indexed scratch (no per-socket allocations).
+	counts := make([]int, nS)
+	valid := 0
+	for _, x := range ctxs {
+		if x >= 0 && x < idx.n {
+			counts[idx.socketIdx[x]]++
+			valid++
+		}
+	}
+	offs := make([]int, nS+1)
+	for s := 0; s < nS; s++ {
+		offs[s+1] = offs[s] + counts[s]
+	}
+	flat := make([]int, valid)
+	fill := append([]int(nil), offs[:nS]...)
+	for _, x := range ctxs {
+		if x >= 0 && x < idx.n {
+			s := idx.socketIdx[x]
+			flat[fill[s]] = x
+			fill[s]++
+		}
+	}
 	var max int64
-	for i := 0; i < len(ctxs); i++ {
-		for j := i + 1; j < len(ctxs); j++ {
-			if l := t.GetLatency(ctxs[i], ctxs[j]); l > max {
+	for s1 := 0; s1 < nS; s1++ {
+		if counts[s1] == 0 {
+			continue
+		}
+		// Cross-socket: one lookup per occupied socket pair.
+		for s2 := s1 + 1; s2 < nS; s2++ {
+			if counts[s2] == 0 {
+				continue
+			}
+			if l := t.socketLat[s1][s2]; l > max {
 				max = l
+			}
+		}
+		// Intra-socket: pairwise matrix reads within the bucket.
+		bucket := flat[offs[s1]:offs[s1+1]]
+		for i := 0; i < len(bucket); i++ {
+			row := idx.lat[bucket[i]*idx.n : (bucket[i]+1)*idx.n]
+			for j := i + 1; j < len(bucket); j++ {
+				if l := row[bucket[j]]; l > max {
+					max = l
+				}
 			}
 		}
 	}
@@ -344,41 +390,21 @@ func (t *Topology) MaxLatencyBetween(ctxs []int) int64 {
 
 // SocketsByLatencyFrom returns the other sockets ordered by communication
 // latency from s (closest first) — the primitive behind "use the socket
-// closest to socket x" policies.
+// closest to socket x" policies. The order is memoized per socket; the
+// returned slice is a copy. Nil for an unknown socket id.
 func (t *Topology) SocketsByLatencyFrom(s int) []*Socket {
-	type entry struct {
-		sock *Socket
-		lat  int64
+	if s < 0 || s >= len(t.sockets) {
+		return nil
 	}
-	var es []entry
-	for _, o := range t.sockets {
-		if o.ID == s {
-			continue
-		}
-		es = append(es, entry{o, t.socketLat[s][o.ID]})
-	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].lat != es[j].lat {
-			return es[i].lat < es[j].lat
-		}
-		return es[i].sock.ID < es[j].sock.ID
-	})
-	out := make([]*Socket, len(es))
-	for i, e := range es {
-		out[i] = e.sock
-	}
-	return out
+	return append([]*Socket(nil), t.index().byLatencyFrom[s]...)
 }
 
 // SocketsByLocalBW returns the sockets ordered by local memory bandwidth,
 // best first — the seed of the CON_* and RR placement policies (Table 2).
-// Sockets without memory measurements keep id order at the end.
+// Sockets without memory measurements keep id order at the end. The order
+// is memoized; the returned slice is a copy.
 func (t *Topology) SocketsByLocalBW() []*Socket {
-	out := append([]*Socket(nil), t.sockets...)
-	sort.SliceStable(out, func(i, j int) bool {
-		return localBW(out[i]) > localBW(out[j])
-	})
-	return out
+	return append([]*Socket(nil), t.index().byLocalBW...)
 }
 
 func localBW(s *Socket) float64 {
@@ -425,18 +451,27 @@ func (t *Topology) MaxBWPair() (a, b *Socket) {
 
 // ContextsByLatencyFrom returns all other hardware contexts ordered by
 // latency from ctx, closest first — the victim order of topology-aware work
-// stealing (Section 5).
+// stealing (Section 5). Sort keys come straight out of the latency matrix.
 func (t *Topology) ContextsByLatencyFrom(ctx int) []int {
+	idx := t.index()
 	type entry struct {
 		id  int
 		lat int64
 	}
-	var es []entry
+	var row []int64
+	if ctx >= 0 && ctx < idx.n {
+		row = idx.lat[ctx*idx.n : (ctx+1)*idx.n]
+	}
+	es := make([]entry, 0, idx.n)
 	for _, c := range t.contexts {
 		if c.ID == ctx {
 			continue
 		}
-		es = append(es, entry{c.ID, t.GetLatency(ctx, c.ID)})
+		l := int64(-1)
+		if row != nil {
+			l = row[c.ID]
+		}
+		es = append(es, entry{c.ID, l})
 	}
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].lat != es[j].lat {
@@ -452,21 +487,24 @@ func (t *Topology) ContextsByLatencyFrom(ctx int) []int {
 }
 
 // PowerEstimate estimates package power for a set of active contexts using
-// the power plugin's model (0 when power data is unavailable).
+// the power plugin's model (0 when power data is unavailable). The index's
+// flat ctx→core and ctx→socket tables replace the per-call maps and pointer
+// chases of the pre-index implementation; core contributions accumulate in
+// ascending core order, so the result is deterministic.
 func (t *Topology) PowerEstimate(ctxs []int, withDRAM bool) (perSocket []float64, total float64) {
 	perSocket = make([]float64, len(t.sockets))
 	if !t.power.Available() {
 		return perSocket, 0
 	}
-	ctxPerCore := make(map[*HWCGroup]int)
+	idx := t.index()
+	ctxPerCore := make([]int32, len(t.cores))
 	active := make([]bool, len(t.sockets))
 	for _, id := range ctxs {
-		c := t.Context(id)
-		if c == nil {
+		if id < 0 || id >= idx.n {
 			continue
 		}
-		ctxPerCore[c.Core]++
-		active[c.Socket.ID] = true
+		ctxPerCore[idx.coreIdx[id]]++
+		active[idx.socketIdx[id]] = true
 	}
 	for s := range t.sockets {
 		if active[s] {
@@ -477,7 +515,9 @@ func (t *Topology) PowerEstimate(ctxs []int, withDRAM bool) (perSocket []float64
 		}
 	}
 	for core, n := range ctxPerCore {
-		perSocket[core.Socket.ID] += t.power.PerFirstCtx + float64(n-1)*t.power.PerExtraCtx
+		if n > 0 {
+			perSocket[t.cores[core].Socket.ID] += t.power.PerFirstCtx + float64(n-1)*t.power.PerExtraCtx
+		}
 	}
 	for _, p := range perSocket {
 		total += p

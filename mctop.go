@@ -110,7 +110,15 @@ func InferPlatformDetailed(name string, seed uint64, opt Options) (*Topology, *I
 	if err != nil {
 		return nil, nil, err
 	}
-	enriched, err := plugins.Enrich(m, res.Topology, nil)
+	var enriched *Topology
+	if opt.ForkedEnrich {
+		// Fork-per-probe enrichment: deterministic for the seed and
+		// byte-identical for every Parallelism, like the measurement
+		// phase (see mctopalg.Options.ForkedEnrich for why it is opt-in).
+		enriched, err = plugins.EnrichForked(m, res.Topology, nil, opt.Parallelism)
+	} else {
+		enriched, err = plugins.Enrich(m, res.Topology, nil)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -182,6 +190,15 @@ type Registry = registry.Registry
 
 // RegistryStats is a snapshot of a Registry's hit/miss/eviction counters.
 type RegistryStats = registry.Stats
+
+// PlaceRequest is one (policy, threads) pair of a Registry.PlaceBatch call:
+// many placement requests answered against a single topology lookup (what
+// mctopd's POST /v1/place/batch endpoint builds on).
+type PlaceRequest = registry.PlaceRequest
+
+// BatchResult is one Registry.PlaceBatch answer: a placement or the
+// per-request error that produced none.
+type BatchResult = registry.BatchResult
 
 // NewRegistry creates a topology registry bounded to maxEntries cached
 // values (topologies and placements each count as one; <= 0 uses the
