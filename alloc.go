@@ -1,0 +1,120 @@
+package mctop
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mctoperr"
+	"repro/internal/place"
+)
+
+// Alloc mirrors MCTOP-LIB's mctop_alloc (Section 5): a topology-aware
+// thread allocator built from a topology and a policy, which application
+// threads query and pin against. Where a Placement is the raw slot order,
+// an Alloc is the object an application holds: thread i calls Pin(i) to
+// claim its hardware context, Unpin(i) to release it, and the allocator
+// answers the Figure 7 questions (cores used, sockets, bandwidth, power,
+// latency) about the set as a whole.
+//
+// The thread-to-context mapping is deterministic: Pin(i) always returns
+// slot i of the policy's order, so restarts and replicas agree on who runs
+// where. All methods are safe for concurrent use.
+type Alloc struct {
+	top *Topology
+	pl  *Placement
+	// order caches the placement's slot order once: Pin is the per-thread
+	// hot path, and Placement.Contexts copies the whole slice per call.
+	order []int
+
+	mu     sync.Mutex
+	pinned []bool
+}
+
+// NewAlloc builds an allocator from a topology and a policy — a Table 2
+// builtin, a combinator chain, or a custom Policy implementation:
+//
+//	alloc, err := mctop.NewAlloc(top, mctop.OnSockets(mctop.RRCore, 0).Limit(8))
+//	ctx, _ := alloc.Pin(0) // thread 0's hardware context
+//
+// Correctable failures (nil policy, POWER without power data, negative
+// options) wrap ErrInvalidRequest.
+func NewAlloc(t *Topology, p Policy, opts ...PlaceOption) (*Alloc, error) {
+	var po place.Options
+	for _, f := range opts {
+		f(&po)
+	}
+	pl, err := place.NewFrom(t, p, po)
+	if err != nil {
+		return nil, err
+	}
+	return &Alloc{top: t, pl: pl, order: pl.Contexts(), pinned: make([]bool, pl.NThreads())}, nil
+}
+
+// NumHWContexts returns how many hardware contexts the allocator hands out
+// — the number of threads it can pin (mctop_alloc's n_hwcs).
+func (a *Alloc) NumHWContexts() int { return a.pl.NThreads() }
+
+// NumCores returns the distinct physical cores behind the allocator's
+// contexts.
+func (a *Alloc) NumCores() int { return a.pl.NCores() }
+
+// Pin claims thread threadID's hardware context and returns it (-1 means
+// "run unpinned", the None policy). Pin is idempotent — pinning an
+// already-pinned thread returns the same context — and deterministic:
+// thread i always gets slot i of the policy's order. A threadID outside
+// [0, NumHWContexts) wraps ErrInvalidRequest.
+func (a *Alloc) Pin(threadID int) (hwContext int, err error) {
+	if threadID < 0 || threadID >= a.pl.NThreads() {
+		return -1, fmt.Errorf("%w: thread id %d outside [0, %d)",
+			mctoperr.ErrInvalidRequest, threadID, a.pl.NThreads())
+	}
+	a.mu.Lock()
+	a.pinned[threadID] = true
+	a.mu.Unlock()
+	return a.order[threadID], nil
+}
+
+// Unpin releases thread threadID's claim (a no-op when not pinned). A
+// threadID outside [0, NumHWContexts) wraps ErrInvalidRequest.
+func (a *Alloc) Unpin(threadID int) error {
+	if threadID < 0 || threadID >= a.pl.NThreads() {
+		return fmt.Errorf("%w: thread id %d outside [0, %d)",
+			mctoperr.ErrInvalidRequest, threadID, a.pl.NThreads())
+	}
+	a.mu.Lock()
+	a.pinned[threadID] = false
+	a.mu.Unlock()
+	return nil
+}
+
+// NumPinned returns how many threads currently hold their context.
+func (a *Alloc) NumPinned() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, p := range a.pinned {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Contexts returns the full thread-to-context order (a copy): entry i is
+// what Pin(i) returns.
+func (a *Alloc) Contexts() []int { return a.pl.Contexts() }
+
+// PolicyName returns the identity of the policy the allocator was built
+// from (e.g. "MCTOP_PLACE_RR_CORE.ON_SOCKETS(0).LIMIT(8)").
+func (a *Alloc) PolicyName() string { return a.pl.PolicyName() }
+
+// Topology returns the allocator's topology.
+func (a *Alloc) Topology() *Topology { return a.top }
+
+// Placement exposes the underlying placement for the Figure 7 accessors
+// (MaxLatency, MinBandwidth, MaxPower, CtxPerSocket, …). Treat it as
+// read-only; the Alloc owns the pin state.
+func (a *Alloc) Placement() *Placement { return a.pl }
+
+// Report renders the placement report of Figure 7.
+func (a *Alloc) Report() string { return a.pl.String() }

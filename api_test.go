@@ -1,0 +1,240 @@
+package mctop_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	mctop "repro"
+)
+
+// testOptions keeps inference fast in tests (the facade's full default of
+// 201 reps is still ~10x slower than needed for a 20-context Ivy).
+func fastOpts() []mctop.Option { return []mctop.Option{mctop.WithReps(51)} }
+
+func TestInferContextAware(t *testing.T) {
+	ctx := context.Background()
+	top, err := mctop.Infer(ctx, "Ivy", 42, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumHWContexts() != 40 {
+		t.Fatalf("Ivy has %d contexts, want 40", top.NumHWContexts())
+	}
+
+	// Unknown platforms wrap the sentinel.
+	if _, err := mctop.Infer(ctx, "Nope", 42, fastOpts()...); !errors.Is(err, mctop.ErrUnknownPlatform) {
+		t.Errorf("err = %v, want ErrUnknownPlatform", err)
+	}
+
+	// A pre-cancelled context aborts before measuring.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := mctop.Infer(cancelled, "Ivy", 43, fastOpts()...); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAllocPinUnpin(t *testing.T) {
+	top, err := mctop.Infer(context.Background(), "Ivy", 42, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := mctop.NewAlloc(top, mctop.RRCore, mctop.WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.NumHWContexts() != 8 {
+		t.Fatalf("NumHWContexts = %d, want 8", alloc.NumHWContexts())
+	}
+	order := alloc.Contexts()
+	// Pin is deterministic and idempotent.
+	for i := 0; i < 8; i++ {
+		c, err := alloc.Pin(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != order[i] {
+			t.Fatalf("Pin(%d) = %d, want slot %d", i, c, order[i])
+		}
+		again, _ := alloc.Pin(i)
+		if again != c {
+			t.Fatalf("re-Pin(%d) = %d, want %d", i, again, c)
+		}
+	}
+	if alloc.NumPinned() != 8 {
+		t.Fatalf("NumPinned = %d, want 8", alloc.NumPinned())
+	}
+	if err := alloc.Unpin(3); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.NumPinned() != 7 {
+		t.Fatalf("NumPinned after Unpin = %d, want 7", alloc.NumPinned())
+	}
+	// Out-of-range ids wrap ErrInvalidRequest.
+	if _, err := alloc.Pin(8); !errors.Is(err, mctop.ErrInvalidRequest) {
+		t.Errorf("Pin(8) err = %v, want ErrInvalidRequest", err)
+	}
+	if err := alloc.Unpin(-1); !errors.Is(err, mctop.ErrInvalidRequest) {
+		t.Errorf("Unpin(-1) err = %v, want ErrInvalidRequest", err)
+	}
+	if !strings.Contains(alloc.Report(), "MCTOP_PLACE_RR_CORE") {
+		t.Errorf("report does not name the policy:\n%s", alloc.Report())
+	}
+}
+
+// TestComposedPolicyThroughLibrary is the acceptance scenario: a custom
+// composed policy (RR_CORE restricted to socket 0, capped at 8) placed
+// through the library — NewAlloc directly and the Registry by registered
+// name.
+func TestComposedPolicyThroughLibrary(t *testing.T) {
+	ctx := context.Background()
+	top, err := mctop.Infer(ctx, "Ivy", 42, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := mctop.OnSockets(mctop.RRCore, 0).Limit(8)
+
+	alloc, err := mctop.NewAlloc(top, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.NumHWContexts() != 8 {
+		t.Fatalf("NumHWContexts = %d, want 8", alloc.NumHWContexts())
+	}
+	for _, c := range alloc.Contexts() {
+		if s := top.Context(c).Socket.ID; s != 0 {
+			t.Fatalf("context %d on socket %d, want 0", c, s)
+		}
+	}
+
+	// Registered under a name, the same composition is placeable through
+	// the registry's string-keyed API (what mctopd serves).
+	named := registeredPolicy{name: "SOCKET0_RR8", impl: pol}
+	if err := mctop.RegisterPolicy(named); err != nil {
+		t.Fatal(err)
+	}
+	defer mctop.UnregisterPolicy("SOCKET0_RR8")
+
+	reg := mctop.NewRegistry(16)
+	pl, err := reg.PlaceContext(ctx, "Ivy", 42, mctop.NewOptions(fastOpts()...), "socket0_rr8", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PolicyName() != "SOCKET0_RR8" {
+		t.Errorf("PolicyName = %q", pl.PolicyName())
+	}
+	got, want := pl.Contexts(), alloc.Contexts()
+	if len(got) != len(want) {
+		t.Fatalf("registry placement %v, alloc %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: registry %d, alloc %d", i, got[i], want[i])
+		}
+	}
+
+	// And typed, unregistered policies place through PlaceWithContext.
+	pl2, err := reg.PlaceWithContext(ctx, "Ivy", 42, mctop.NewOptions(fastOpts()...), pol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.PolicyName() != pol.Name() {
+		t.Errorf("PolicyName = %q, want %q", pl2.PolicyName(), pol.Name())
+	}
+}
+
+// registeredPolicy names an existing Policy for registration.
+type registeredPolicy struct {
+	name string
+	impl mctop.Policy
+}
+
+func (r registeredPolicy) Name() string { return r.name }
+func (r registeredPolicy) Order(t *mctop.Topology, opt mctop.PlaceOptions) ([]int, error) {
+	return r.impl.Order(t, opt)
+}
+
+func TestFunctionalOptionsHashStably(t *testing.T) {
+	// The same configuration expressed as a raw struct and as functional
+	// options must share one registry cache entry.
+	reg := mctop.NewRegistry(16)
+	ctx := context.Background()
+	if _, err := reg.TopologyContext(ctx, "Ivy", 42, mctop.Options{Reps: 51}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.TopologyContext(ctx, "Ivy", 42, mctop.NewOptions(mctop.WithReps(51))); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Stats().Inferences; got != 1 {
+		t.Fatalf("inferences = %d, want 1 (options must hash identically)", got)
+	}
+	// Parallelism is excluded from the key by design.
+	if _, err := reg.TopologyContext(ctx, "Ivy", 42, mctop.NewOptions(mctop.WithReps(51), mctop.WithParallelism(2))); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Stats().Inferences; got != 1 {
+		t.Fatalf("inferences = %d, want 1 (parallelism must not change the key)", got)
+	}
+	// ForkedEnrich changes results and therefore the key.
+	if _, err := reg.TopologyContext(ctx, "Ivy", 42, mctop.NewOptions(mctop.WithReps(51), mctop.WithForkedEnrich())); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Stats().Inferences; got != 2 {
+		t.Fatalf("inferences = %d, want 2 (forked enrich is part of the key)", got)
+	}
+}
+
+// TestErrorsRoundTripThroughRegistry: errors.Is works on errors that
+// travelled through the registry's singleflight and caching layers.
+func TestErrorsRoundTripThroughRegistry(t *testing.T) {
+	reg := mctop.NewRegistry(16)
+	ctx := context.Background()
+	if _, err := reg.TopologyContext(ctx, "Atari", 1, mctop.NewOptions(fastOpts()...)); !errors.Is(err, mctop.ErrUnknownPlatform) {
+		t.Errorf("topology err = %v, want ErrUnknownPlatform", err)
+	}
+	if _, err := reg.PlaceContext(ctx, "Ivy", 42, mctop.NewOptions(fastOpts()...), "NOT_A_POLICY", 4); !errors.Is(err, mctop.ErrUnknownPolicy) {
+		t.Errorf("place err = %v, want ErrUnknownPolicy", err)
+	}
+	if _, err := reg.PlaceContext(ctx, "SPARC", 42, mctop.NewOptions(fastOpts()...), "POWER", 4); !errors.Is(err, mctop.ErrInvalidRequest) {
+		t.Errorf("power-on-SPARC err = %v, want ErrInvalidRequest", err)
+	}
+	// Batch items carry typed errors too.
+	res, err := reg.PlaceBatchContext(ctx, "Ivy", 42, mctop.NewOptions(fastOpts()...), []mctop.PlaceRequest{
+		{Policy: "RR_CORE", NThreads: 4},
+		{Policy: "NOT_A_POLICY", NThreads: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[1].Err == nil || !errors.Is(res[1].Err, mctop.ErrUnknownPolicy) {
+		t.Errorf("batch errors: %v / %v", res[0].Err, res[1].Err)
+	}
+}
+
+func TestDeprecatedShimsStillWork(t *testing.T) {
+	// The pre-redesign facade delegates to the new API and behaves
+	// identically.
+	top, err := mctop.InferPlatform("Ivy", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := mctop.Place(top, "CON_HWC", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NThreads() != 10 {
+		t.Fatalf("NThreads = %d", pl.NThreads())
+	}
+	alloc, err := mctop.NewAlloc(top, mctop.ConHWC, mctop.WithThreads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim, modern := pl.Contexts(), alloc.Contexts()
+	for i := range shim {
+		if shim[i] != modern[i] {
+			t.Fatalf("slot %d: shim %d, new API %d", i, shim[i], modern[i])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command benchdelta compares two BENCH_*.json files (the cmd/bench2json
+// output CI archives) and prints a per-benchmark delta table — the
+// warning-only regression report of the CI benchmark trajectory:
+//
+//	benchdelta [-warn-pct 20] previous.json current.json
+//
+// Benchmarks are matched by (pkg, name). The exit code is always 0 — the
+// report warns, it does not gate — because single-iteration CI benchmarks
+// are too noisy to fail a build on; the table is for humans (and future
+// tooling) reading the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/bench2json's per-benchmark record; fields the delta
+// does not use are ignored by the decoder.
+type Result struct {
+	Pkg     string  `json:"pkg"`
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type document struct {
+	Results []Result `json:"results"`
+}
+
+func main() {
+	warnPct := flag.Float64("warn-pct", 20, "flag benchmarks slower than this percentage as WARN")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-warn-pct N] previous.json current.json")
+		os.Exit(2)
+	}
+	prev, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(2)
+	}
+	report(os.Stdout, prev, cur, *warnPct)
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]Result, len(doc.Results))
+	for _, r := range doc.Results {
+		out[r.Pkg+"/"+r.Name] = r
+	}
+	return out, nil
+}
+
+// report writes the delta table: matched benchmarks with their ns/op
+// change, then benchmarks only one side has. Rows are sorted by key so two
+// runs over the same data produce identical reports.
+func report(w *os.File, prev, cur map[string]Result, warnPct float64) {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	warned := 0
+	fmt.Fprintf(w, "%-72s %14s %14s %9s\n", "benchmark", "prev ns/op", "cur ns/op", "delta")
+	for _, k := range keys {
+		c := cur[k]
+		p, ok := prev[k]
+		if !ok || p.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-72s %14s %14.1f %9s\n", k, "-", c.NsPerOp, "new")
+			continue
+		}
+		delta := (c.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		mark := ""
+		if delta > warnPct {
+			mark = "  WARN"
+			warned++
+		}
+		fmt.Fprintf(w, "%-72s %14.1f %14.1f %+8.1f%%%s\n", k, p.NsPerOp, c.NsPerOp, delta, mark)
+	}
+	gone := make([]string, 0)
+	for k := range prev {
+		if _, ok := cur[k]; !ok {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Fprintf(w, "%-72s %14.1f %14s %9s\n", k, prev[k].NsPerOp, "-", "gone")
+	}
+	if warned > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% (warning only; 1x CI iterations are noisy)\n", warned, warnPct)
+	}
+}

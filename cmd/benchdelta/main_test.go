@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const prevJSON = `{"results": [
+  {"pkg": "repro/internal/place", "name": "PowerOrder", "ns_per_op": 1000},
+  {"pkg": "repro/internal/topo", "name": "GetLatency", "ns_per_op": 10},
+  {"pkg": "repro/internal/topo", "name": "Removed", "ns_per_op": 5}
+]}`
+
+const curJSON = `{"results": [
+  {"pkg": "repro/internal/place", "name": "PowerOrder", "ns_per_op": 1500},
+  {"pkg": "repro/internal/topo", "name": "GetLatency", "ns_per_op": 9},
+  {"pkg": "repro/internal/topo", "name": "Added", "ns_per_op": 7}
+]}`
+
+func TestReportDeltas(t *testing.T) {
+	dir := t.TempDir()
+	prevPath := filepath.Join(dir, "prev.json")
+	curPath := filepath.Join(dir, "cur.json")
+	if err := os.WriteFile(prevPath, []byte(prevJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(curPath, []byte(curJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := load(prevPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "out.txt")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(f, prev, cur, 20)
+	f.Close()
+	text, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(text)
+
+	for _, want := range []string{
+		"+50.0%  WARN", // PowerOrder regressed past the threshold
+		"-10.0%",       // GetLatency improved, no warning
+		"new",          // Added has no previous row
+		"gone",         // Removed has no current row
+		"1 benchmark(s) regressed",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	// The improved benchmark's row must not be flagged.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "GetLatency") && strings.Contains(line, "WARN") {
+			t.Errorf("GetLatency improvement flagged WARN: %q", line)
+		}
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Fatal("expected error for malformed JSON")
+	}
+	if _, err := load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,17 +1,23 @@
 // Command mctop-place computes MCTOP-PLACE thread placements and prints the
-// report of the paper's Figure 7.
+// report of the paper's Figure 7. It is a thin shell around the client
+// API's Alloc: infer (or load) a topology, resolve or compose a policy,
+// build the allocator, print its report.
 //
 // Usage:
 //
 //	mctop-place -platform Ivy -policy CON_HWC -threads 30
 //	mctop-place -load ivy.mct -policy RR_CORE -threads 16
+//	mctop-place -platform Ivy -policy RR_CORE -on-sockets 0 -limit 8
 //	mctop-place -platform Opteron -all
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	mctop "repro"
 	"repro/internal/place"
@@ -19,43 +25,75 @@ import (
 
 func main() {
 	var (
-		platform = flag.String("platform", "Ivy", "simulated platform to infer")
-		seed     = flag.Uint64("seed", 42, "simulator noise seed")
-		load     = flag.String("load", "", "load a description file instead of inferring")
-		policy   = flag.String("policy", "CON_HWC", "placement policy (see -all for the list)")
-		threads  = flag.Int("threads", 0, "threads to place (0 = as many as the policy allows)")
-		sockets  = flag.Int("sockets", 0, "sockets to use (0 = all)")
-		all      = flag.Bool("all", false, "print every policy's placement")
+		platform  = flag.String("platform", "Ivy", "simulated platform to infer")
+		seed      = flag.Uint64("seed", 42, "simulator noise seed")
+		load      = flag.String("load", "", "load a description file instead of inferring")
+		policy    = flag.String("policy", "CON_HWC", "placement policy (see -all for the list)")
+		threads   = flag.Int("threads", 0, "threads to place (0 = as many as the policy allows)")
+		sockets   = flag.Int("sockets", 0, "sockets to use (0 = all)")
+		onSockets = flag.String("on-sockets", "", "comma-separated socket ids to restrict the policy to")
+		limit     = flag.Int("limit", 0, "cap the placement at this many slots (0 = no cap)")
+		reverse   = flag.Bool("reverse", false, "invert the policy's order (least-preferred contexts first)")
+		all       = flag.Bool("all", false, "print every builtin policy's placement")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	var top *mctop.Topology
 	var err error
 	if *load != "" {
 		top, err = mctop.Load(*load)
 	} else {
-		top, err = mctop.InferPlatform(*platform, *seed)
+		top, err = mctop.Infer(ctx, *platform, *seed)
 	}
 	fail(err)
 
+	opts := []mctop.PlaceOption{mctop.WithThreads(*threads), mctop.WithSockets(*sockets)}
 	if *all {
 		for _, pol := range place.Policies() {
-			pl, err := place.New(top, pol, place.Options{NThreads: *threads, NSockets: *sockets})
+			alloc, err := mctop.NewAlloc(top, pol, opts...)
 			if err != nil {
 				fmt.Printf("## %v: %v\n\n", pol, err)
 				continue
 			}
-			fmt.Print(pl.String())
+			fmt.Print(alloc.Report())
 			fmt.Println()
 		}
 		return
 	}
 
-	pol, err := place.ParsePolicy(*policy)
+	pol, err := mctop.ResolvePolicy(*policy)
 	fail(err)
-	pl, err := place.New(top, pol, place.Options{NThreads: *threads, NSockets: *sockets})
+	composed, err := compose(pol, *onSockets, *limit, *reverse)
 	fail(err)
-	fmt.Print(pl.String())
+	alloc, err := mctop.NewAlloc(top, composed, opts...)
+	fail(err)
+	fmt.Print(alloc.Report())
+}
+
+// compose applies the combinator flags to the base policy. Reverse wraps
+// before Limit so -reverse -limit N yields the N least-preferred contexts
+// (matching the library's Reverse + NThreads semantics), not the N
+// most-preferred ones reversed.
+func compose(pol mctop.Policy, onSockets string, limit int, reverse bool) (mctop.Policy, error) {
+	if onSockets != "" {
+		var ids []int
+		for _, part := range strings.Split(onSockets, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad -on-sockets %q: %v", onSockets, err)
+			}
+			ids = append(ids, id)
+		}
+		pol = mctop.OnSockets(pol, ids...)
+	}
+	if reverse {
+		pol = mctop.Reverse(pol)
+	}
+	if limit > 0 {
+		pol = mctop.Limit(pol, limit)
+	}
+	return pol, nil
 }
 
 func fail(err error) {

@@ -7,17 +7,25 @@
 //
 // Usage:
 //
-//	mctopd -addr :8077 -cache 256
+//	mctopd -addr :8077 -cache 256 -max-inflight 64
 //
 // Endpoints:
 //
-//	GET  /healthz                          liveness probe
+//	GET  /healthz                          liveness probe (exempt from backpressure)
 //	GET  /v1/platforms                     the five simulated platforms
-//	GET  /v1/policies                      the 12 placement policies
+//	GET  /v1/policies                      builtin + registered placement policies
 //	GET  /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
 //	GET  /v1/place?platform=Ivy&seed=42&policy=RR_CORE&threads=8
 //	POST /v1/place/batch                   many placements, one topology lookup
 //	GET  /v1/stats                         registry hit/miss/eviction counters
+//
+// Failures carry the client API's sentinel errors, mapped to HTTP statuses
+// in one place (statusOf): ErrInvalidRequest → 400, ErrUnknownPlatform and
+// ErrUnknownPolicy → 404, ErrTooLarge → 413, ErrSaturated → 503. Handlers
+// run under the request context, so a disconnected client cancels a cold
+// O(N²) inference, and -max-inflight bounds concurrent requests — beyond
+// it the daemon sheds load with 503 + Retry-After instead of queueing
+// into timeout.
 //
 // The batch endpoint answers many {policy, threads} requests against one
 // topology in a single call — runtime systems resolving a whole sweep of
@@ -39,30 +47,34 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	mctop "repro"
-	"repro/internal/place"
+	"repro/internal/mctoperr"
 	"repro/internal/topo"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8077", "listen address")
-		cache = flag.Int("cache", 256, "maximum cached topologies + placements (LRU beyond)")
-		reps  = flag.Int("reps", 201, "default repetitions per context pair")
+		addr     = flag.String("addr", ":8077", "listen address")
+		cache    = flag.Int("cache", 256, "maximum cached topologies + placements (LRU beyond)")
+		reps     = flag.Int("reps", 201, "default repetitions per context pair")
+		inflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
+			"maximum concurrent in-flight requests before shedding with 503 (<= 0 disables)")
 	)
 	flag.Parse()
 
-	s := newServer(*cache, *reps)
+	s := newServerWith(mctop.NewRegistry(*cache), *reps, *inflight)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -71,7 +83,7 @@ func main() {
 		WriteTimeout:      5 * time.Minute, // a cold SPARC inference at paper reps is slow
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("mctopd: serving topology queries on %s (cache %d entries)", *addr, *cache)
+	log.Printf("mctopd: serving topology queries on %s (cache %d entries, %d in-flight)", *addr, *cache, *inflight)
 	log.Fatal(srv.ListenAndServe())
 }
 
@@ -80,13 +92,26 @@ func main() {
 type server struct {
 	reg         *mctop.Registry
 	defaultReps int
+	// inflight is the backpressure semaphore: one slot per in-flight
+	// request (healthz excepted). nil disables shedding.
+	inflight chan struct{}
 }
 
 func newServer(cacheEntries, defaultReps int) *server {
-	return &server{reg: mctop.NewRegistry(cacheEntries), defaultReps: defaultReps}
+	return newServerWith(mctop.NewRegistry(cacheEntries), defaultReps, 4*runtime.GOMAXPROCS(0))
 }
 
-func (s *server) routes() *http.ServeMux {
+// newServerWith injects the registry and the in-flight bound, so tests can
+// substitute blocking inference functions and tiny bounds.
+func newServerWith(reg *mctop.Registry, defaultReps, maxInflight int) *server {
+	s := &server{reg: reg, defaultReps: defaultReps}
+	if maxInflight > 0 {
+		s.inflight = make(chan struct{}, maxInflight)
+	}
+	return s
+}
+
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/platforms", s.handlePlatforms)
@@ -95,7 +120,32 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/place", s.handlePlace)
 	mux.HandleFunc("/v1/place/batch", s.handlePlaceBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	return mux
+	return s.withBackpressure(mux)
+}
+
+// withBackpressure sheds requests beyond the in-flight bound with 503 +
+// Retry-After instead of queueing them behind a saturated CPU: an
+// inference-heavy burst would otherwise pile onto the registry's compute
+// semaphore until every response deadline is blown. The liveness probe is
+// exempt — an orchestrator must see a saturated daemon as alive.
+func (s *server) withBackpressure(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErrStatus(w, fmt.Errorf("%w: %d requests in flight", mctoperr.ErrSaturated, cap(s.inflight)))
+		}
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -110,6 +160,37 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// statusOf is the single place the daemon maps the client API's sentinel
+// errors to HTTP statuses; handlers never pick a status by hand.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, mctoperr.ErrSaturated):
+		return http.StatusServiceUnavailable // 503
+	case errors.Is(err, mctoperr.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge // 413
+	case errors.Is(err, mctoperr.ErrUnknownPlatform),
+		errors.Is(err, mctoperr.ErrUnknownPolicy):
+		return http.StatusNotFound // 404
+	case errors.Is(err, mctoperr.ErrInvalidRequest):
+		return http.StatusBadRequest // 400
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, context.Canceled):
+		// The requester went away (healthy waiters are re-promoted by the
+		// registry, so a Canceled here is this request's own); 499 is the
+		// de-facto "client closed request" status. Nobody reads the
+		// response, but logs and metrics should not count it as a 500.
+		return 499
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}
+
+// writeErrStatus maps err through statusOf and writes it.
+func writeErrStatus(w http.ResponseWriter, err error) {
+	writeErr(w, statusOf(err), err)
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
 }
@@ -119,17 +200,25 @@ func (s *server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"policies": mctop.PolicyNames()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policies":   mctop.PolicyNames(),
+		"registered": mctop.RegisteredPolicyNames(),
+	})
 }
 
-// validatePlatform rejects unknown platform names (the client's fault).
+// validatePlatform sorts platform failures: an absent parameter is a
+// malformed request (ErrInvalidRequest, 400), a named-but-unknown platform
+// is a miss on the platform namespace (ErrUnknownPlatform, 404).
 func validatePlatform(platform string) error {
+	if platform == "" {
+		return fmt.Errorf("%w: missing platform (one of: %s)", mctoperr.ErrInvalidRequest, strings.Join(mctop.Platforms(), ", "))
+	}
 	for _, p := range mctop.Platforms() {
 		if p == platform {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown platform %q (one of: %s)", platform, strings.Join(mctop.Platforms(), ", "))
+	return fmt.Errorf("%w %q (one of: %s)", mctoperr.ErrUnknownPlatform, platform, strings.Join(mctop.Platforms(), ", "))
 }
 
 // validateReps bounds the work one request can demand: inference is
@@ -137,14 +226,14 @@ func validatePlatform(platform string) error {
 // timeout. 10000 is 5x the paper's n = 2000.
 func validateReps(reps int) error {
 	if reps < 1 || reps > 10000 {
-		return fmt.Errorf("bad reps %d (want 1..10000)", reps)
+		return fmt.Errorf("%w: bad reps %d (want 1..10000)", mctoperr.ErrInvalidRequest, reps)
 	}
 	return nil
 }
 
 // query pulls the common platform/seed/options parameters. seed defaults to
-// 42, reps to the daemon default; a missing or unknown platform and every
-// parse error are the client's fault (400).
+// 42, reps to the daemon default; every failure wraps a sentinel error
+// (ErrUnknownPlatform, ErrInvalidRequest) for statusOf.
 func (s *server) query(r *http.Request) (platform string, seed uint64, opt mctop.Options, err error) {
 	q := r.URL.Query()
 	platform = q.Get("platform")
@@ -154,14 +243,14 @@ func (s *server) query(r *http.Request) (platform string, seed uint64, opt mctop
 	seed = 42
 	if v := q.Get("seed"); v != "" {
 		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
-			return "", 0, opt, fmt.Errorf("bad seed %q: %v", v, err)
+			return "", 0, opt, fmt.Errorf("%w: bad seed %q: %v", mctoperr.ErrInvalidRequest, v, err)
 		}
 	}
 	opt.Reps = s.defaultReps
 	if v := q.Get("reps"); v != "" {
 		reps, perr := strconv.Atoi(v)
 		if perr != nil {
-			return "", 0, opt, fmt.Errorf("bad reps %q: %v", v, perr)
+			return "", 0, opt, fmt.Errorf("%w: bad reps %q: %v", mctoperr.ErrInvalidRequest, v, perr)
 		}
 		if err := validateReps(reps); err != nil {
 			return "", 0, opt, err
@@ -189,7 +278,7 @@ type topologyResponse struct {
 func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	platform, seed, opt, err := s.query(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErrStatus(w, err)
 		return
 	}
 	// Validate the format before paying for an inference: a typo must not
@@ -198,13 +287,16 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	switch format {
 	case "", "json", "mctop", "dot":
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json, mctop, dot)", format))
+		writeErrStatus(w, fmt.Errorf("%w: unknown format %q (json, mctop, dot)", mctoperr.ErrInvalidRequest, format))
 		return
 	}
 	start := time.Now()
-	top, cached, err := s.reg.LookupTopology(platform, seed, opt)
+	// The request context bounds the inference: a client that disconnects
+	// (or whose deadline fires) cancels a cold O(N²) measurement run
+	// instead of leaving it to burn CPU for nobody.
+	top, cached, err := s.reg.LookupTopologyContext(r.Context(), platform, seed, opt)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErrStatus(w, err)
 		return
 	}
 	switch format {
@@ -257,40 +349,36 @@ type placeResponse struct {
 func (s *server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	platform, seed, opt, err := s.query(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErrStatus(w, err)
 		return
 	}
 	q := r.URL.Query()
 	policy := q.Get("policy")
 	if policy == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?policy= (one of: %s)", strings.Join(mctop.PolicyNames(), ", ")))
+		writeErrStatus(w, fmt.Errorf("%w: missing ?policy= (one of: %s)", mctoperr.ErrInvalidRequest, strings.Join(mctop.PolicyNames(), ", ")))
 		return
 	}
 	threads := 0
 	if v := q.Get("threads"); v != "" {
 		threads, err = strconv.Atoi(v)
 		if err != nil || threads < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad threads %q", v))
+			writeErrStatus(w, fmt.Errorf("%w: bad threads %q", mctoperr.ErrInvalidRequest, v))
 			return
 		}
 	}
 	start := time.Now()
-	pl, err := s.reg.Place(platform, seed, opt, policy, threads)
+	pl, err := s.reg.PlaceContext(r.Context(), platform, seed, opt, policy, threads)
 	if err != nil {
-		// Client-correctable placement errors (unknown policy, power
-		// policy without power measurements, unsatisfiable options) are
-		// 400s; inference failures are the server's.
-		if errors.Is(err, place.ErrInvalid) {
-			writeErr(w, http.StatusBadRequest, err)
-		} else {
-			writeErr(w, http.StatusInternalServerError, err)
-		}
+		// statusOf sorts the client's faults (unknown policy → 404, power
+		// policy without power measurements or unsatisfiable options →
+		// 400) from the server's (500).
+		writeErrStatus(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, placeResponse{
 		Platform:     platform,
 		Seed:         seed,
-		Policy:       pl.Policy().String(),
+		Policy:       pl.PolicyName(),
 		NThreads:     pl.NThreads(),
 		Contexts:     pl.Contexts(),
 		NCores:       pl.NCores(),
@@ -350,33 +438,38 @@ func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %v", err))
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErrStatus(w, fmt.Errorf("%w: batch body over %d bytes", mctoperr.ErrTooLarge, tooBig.Limit))
+			return
+		}
+		writeErrStatus(w, fmt.Errorf("%w: bad batch body: %v", mctoperr.ErrInvalidRequest, err))
 		return
 	}
 	if err := validatePlatform(req.Platform); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErrStatus(w, err)
 		return
 	}
 	if len(req.Requests) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch: provide at least one {policy, threads} request"))
+		writeErrStatus(w, fmt.Errorf("%w: empty batch: provide at least one {policy, threads} request", mctoperr.ErrInvalidRequest))
 		return
 	}
 	if len(req.Requests) > maxBatchRequests {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d requests exceeds the limit of %d", len(req.Requests), maxBatchRequests))
+		writeErrStatus(w, fmt.Errorf("%w: batch of %d requests exceeds the limit of %d", mctoperr.ErrTooLarge, len(req.Requests), maxBatchRequests))
 		return
 	}
 	var opt mctop.Options
 	opt.Reps = s.defaultReps
 	if req.Reps != 0 {
 		if err := validateReps(req.Reps); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErrStatus(w, err)
 			return
 		}
 		opt.Reps = req.Reps
 	}
 	for i := range req.Requests {
 		if req.Requests[i].Threads < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("request %d: bad threads %d", i, req.Requests[i].Threads))
+			writeErrStatus(w, fmt.Errorf("%w: request %d: bad threads %d", mctoperr.ErrInvalidRequest, i, req.Requests[i].Threads))
 			return
 		}
 	}
@@ -390,9 +483,9 @@ func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 		reqs[i] = mctop.PlaceRequest{Policy: item.Policy, NThreads: item.Threads}
 	}
 	start := time.Now()
-	results, err := s.reg.PlaceBatch(req.Platform, seed, opt, reqs)
+	results, err := s.reg.PlaceBatchContext(r.Context(), req.Platform, seed, opt, reqs)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErrStatus(w, err)
 		return
 	}
 	resp := batchResponse{
@@ -408,7 +501,7 @@ func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		pl := res.Placement
-		item.Policy = pl.Policy().String()
+		item.Policy = pl.PolicyName()
 		item.NThreads = pl.NThreads()
 		item.Contexts = pl.Contexts()
 		item.NCores = pl.NCores()

@@ -102,8 +102,8 @@ func TestTopologyEndpoint(t *testing.T) {
 	if resp, _ := get(t, ts, "/v1/topology"); resp.StatusCode != 400 {
 		t.Errorf("missing platform: status %d, want 400", resp.StatusCode)
 	}
-	if resp, _ := get(t, ts, "/v1/topology?platform=Nope&reps=51"); resp.StatusCode != 400 {
-		t.Errorf("unknown platform: status %d, want 400 (client error)", resp.StatusCode)
+	if resp, _ := get(t, ts, "/v1/topology?platform=Nope&reps=51"); resp.StatusCode != 404 {
+		t.Errorf("unknown platform: status %d, want 404 (ErrUnknownPlatform)", resp.StatusCode)
 	}
 	if resp, _ := get(t, ts, "/v1/topology?platform=Ivy&reps=51&format=yaml"); resp.StatusCode != 400 {
 		t.Errorf("bad format: status %d, want 400", resp.StatusCode)
@@ -132,8 +132,8 @@ func TestPlaceEndpointAndStats(t *testing.T) {
 		t.Error("report missing policy name")
 	}
 
-	if resp, _ := get(t, ts, "/v1/place?platform=Ivy&reps=51&policy=NOPE"); resp.StatusCode != 400 {
-		t.Errorf("unknown policy: status %d, want 400", resp.StatusCode)
+	if resp, _ := get(t, ts, "/v1/place?platform=Ivy&reps=51&policy=NOPE"); resp.StatusCode != 404 {
+		t.Errorf("unknown policy: status %d, want 404 (ErrUnknownPolicy)", resp.StatusCode)
 	}
 	if resp, _ := get(t, ts, "/v1/place?platform=Ivy&reps=51"); resp.StatusCode != 400 {
 		t.Errorf("missing policy: status %d, want 400", resp.StatusCode)
@@ -249,8 +249,8 @@ func TestPlaceBatchEndpoint(t *testing.T) {
 	if resp, _ := postBatch(t, ts, `{not json`); resp.StatusCode != 400 {
 		t.Errorf("bad JSON: status %d, want 400", resp.StatusCode)
 	}
-	if resp, _ := postBatch(t, ts, `{"platform": "Nope", "requests": [{"policy": "RR_CORE"}]}`); resp.StatusCode != 400 {
-		t.Errorf("unknown platform: status %d, want 400", resp.StatusCode)
+	if resp, _ := postBatch(t, ts, `{"platform": "Nope", "requests": [{"policy": "RR_CORE"}]}`); resp.StatusCode != 404 {
+		t.Errorf("unknown platform: status %d, want 404 (ErrUnknownPlatform)", resp.StatusCode)
 	}
 	if resp, _ := postBatch(t, ts, `{"platform": "Ivy", "requests": []}`); resp.StatusCode != 400 {
 		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
@@ -262,7 +262,7 @@ func TestPlaceBatchEndpoint(t *testing.T) {
 		t.Errorf("negative threads: status %d, want 400", resp.StatusCode)
 	}
 	big := `{"platform": "Ivy", "requests": [` + strings.Repeat(`{"policy": "RR_CORE"},`, 1024) + `{"policy": "RR_CORE"}]}`
-	if resp, _ := postBatch(t, ts, big); resp.StatusCode != 400 {
-		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	if resp, _ := postBatch(t, ts, big); resp.StatusCode != 413 {
+		t.Errorf("oversized batch: status %d, want 413 (ErrTooLarge)", resp.StatusCode)
 	}
 }

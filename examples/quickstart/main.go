@@ -1,9 +1,12 @@
-// Quickstart: infer a topology, query the MCTOP abstraction, place
-// threads, and round-trip the description file — the complete basic
-// workflow of the paper's Section 2.
+// Quickstart: infer a topology, query the MCTOP abstraction, build a
+// topology-aware thread allocator, and round-trip the description file —
+// the complete basic workflow of the paper's Sections 2 and 5, through the
+// MCTOP-LIB-shaped client API (context-aware inference, functional
+// options, composable policies, Alloc).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,9 +16,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Infer the paper's 2-socket Ivy Bridge (simulated; seed fixes the
 	// measurement noise so runs are reproducible).
-	top, res, err := mctop.InferPlatformDetailed("Ivy", 42, mctop.Options{Reps: 201})
+	top, res, err := mctop.InferDetailed(ctx, "Ivy", 42, mctop.WithReps(201))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,12 +41,27 @@ func main() {
 	fmt.Printf("best-connected socket pair: %d-%d\n", a.ID, b.ID)
 
 	// Place 30 threads compactly — the placement report of Figure 7.
-	pl, err := mctop.Place(top, "CON_HWC", 30)
+	// Policies are typed values; an Alloc is the mctop_alloc-style object
+	// threads pin against.
+	alloc, err := mctop.NewAlloc(top, mctop.ConHWC, mctop.WithThreads(30))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	fmt.Print(pl.String())
+	fmt.Print(alloc.Report())
+	hwc, err := alloc.Pin(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thread 0 pinned to hardware context %d\n", hwc)
+
+	// Combinators compose new policies from the builtins: round-robin over
+	// socket 0's cores, capped at 8 threads.
+	capped, err := mctop.NewAlloc(top, mctop.OnSockets(mctop.RRCore, 0).Limit(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s places %d threads: %v\n", capped.PolicyName(), capped.NumHWContexts(), capped.Contexts())
 
 	// Description files: create once, load forever (Section 2).
 	dir, err := os.MkdirTemp("", "mctop")

@@ -20,6 +20,7 @@
 package mctopalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -125,6 +126,13 @@ func (o Options) Normalized() Options {
 type Result struct {
 	Topology *topo.Topology
 
+	// Enriched reports whether Topology carries the plugin measurements
+	// (Section 4). Infer itself never enriches; the facade sets this after
+	// running the plugins, and leaves it false when best-effort host
+	// enrichment fails — the typed "unenriched" marker callers check
+	// instead of probing for zeroed bandwidth fields.
+	Enriched bool
+
 	// RawTable is the N x N median latency table (step 1).
 	RawTable [][]int64
 	// Clusters are the detected latency clusters, ascending (step 2).
@@ -159,8 +167,17 @@ func clusterErr(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: %s", ErrClustering, fmt.Sprintf(format, args...))
 }
 
-// Infer runs MCTOP-ALG on a machine.
+// Infer runs MCTOP-ALG on a machine with no cancellation; it is
+// InferContext with a background context.
 func Infer(m machine.Machine, opt Options) (*Result, error) {
+	return InferContext(context.Background(), m, opt)
+}
+
+// InferContext runs MCTOP-ALG on a machine. The context cancels the
+// measurement phase between context pairs — the dominant cost, O(N²) pair
+// measurements — so a server can abandon an inference whose client went
+// away; a cancelled run returns ctx.Err().
+func InferContext(ctx context.Context, m machine.Machine, opt Options) (*Result, error) {
 	opt.fillDefaults()
 	n := m.NumHWContexts()
 	if n < 2 {
@@ -174,7 +191,12 @@ func Infer(m machine.Machine, opt Options) (*Result, error) {
 	res := &Result{}
 
 	// Step 1: latency table.
-	if err := collectTable(m, &opt, res); err != nil {
+	if err := collectTable(ctx, m, &opt, res); err != nil {
+		return nil, err
+	}
+	// Steps 2-4 are in-memory transforms, cheap next to the measurement
+	// phase; one check here keeps a cancelled run from doing them at all.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -215,7 +237,7 @@ func Infer(m machine.Machine, opt Options) (*Result, error) {
 // Machines implementing machine.Forker measure pairs on independent forks,
 // fanned out over Options.Parallelism workers; everything else measures
 // sequentially through the parent machine.
-func collectTable(m machine.Machine, opt *Options, res *Result) error {
+func collectTable(ctx context.Context, m machine.Machine, opt *Options, res *Result) error {
 	n := m.NumHWContexts()
 	res.RawTable = make([][]int64, n)
 	for i := range res.RawTable {
@@ -223,7 +245,7 @@ func collectTable(m machine.Machine, opt *Options, res *Result) error {
 	}
 
 	if fk, ok := m.(machine.Forker); ok {
-		return collectTableForked(fk, m, opt, res)
+		return collectTableForked(ctx, fk, m, opt, res)
 	}
 
 	x, err := m.NewThread(0)
@@ -247,6 +269,9 @@ func collectTable(m machine.Machine, opt *Options, res *Result) error {
 		}
 		dvfsWait(m, opt, x)
 		for yi := xi + 1; yi < n; yi++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := y.Pin(yi); err != nil {
 				return err
 			}
@@ -284,7 +309,7 @@ type pairOutcome struct {
 // the merge walks pairs in the same (x, y) order the sequential loop uses,
 // so the resulting table — and hence the inferred topology — is
 // byte-identical for every Parallelism, including 1.
-func collectTableForked(fk machine.Forker, m machine.Machine, opt *Options, res *Result) error {
+func collectTableForked(ctx context.Context, fk machine.Forker, m machine.Machine, opt *Options, res *Result) error {
 	n := m.NumHWContexts()
 
 	// The reported rdtsc overhead comes from the parent machine, like the
@@ -321,7 +346,7 @@ func collectTableForked(fk machine.Forker, m machine.Machine, opt *Options, res 
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(pairs) || failed.Load() {
+				if i >= len(pairs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				outcomes[i] = measurePairForked(fk, opt, pairs[i].x, pairs[i].y)
@@ -333,6 +358,11 @@ func collectTableForked(fk machine.Forker, m machine.Machine, opt *Options, res 
 	}
 	wg.Wait()
 
+	// A cancelled run reports ctx.Err() even if a pair also failed: the
+	// caller asked to stop, and the partial table is unusable either way.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if failed.Load() {
 		for i := range pairs {
 			if outcomes[i].err != nil {

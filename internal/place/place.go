@@ -11,20 +11,22 @@
 package place
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/mctoperr"
 	"repro/internal/topo"
 )
 
 // ErrInvalid is wrapped by every placement failure the caller can correct —
 // an unknown policy name, the power policy on a machine without power
 // measurements, unsatisfiable options. Servers use errors.Is to map these
-// to client errors rather than server faults.
-var ErrInvalid = errors.New("place: invalid placement request")
+// to client errors rather than server faults. It wraps
+// mctoperr.ErrInvalidRequest, so the structured-error contract of the
+// client API sees every ErrInvalid failure too.
+var ErrInvalid = fmt.Errorf("place: invalid placement request: %w", mctoperr.ErrInvalidRequest)
 
 // Policy is one of the 12 placement policies of Table 2.
 type Policy int
@@ -107,13 +109,15 @@ var policyByName = func() map[string]Policy {
 	return m
 }()
 
-// ParsePolicy resolves a policy from its name (with or without the
-// MCTOP_PLACE_ prefix, case-insensitive).
+// ParsePolicy resolves a builtin policy from its name (with or without the
+// MCTOP_PLACE_ prefix, case-insensitive). Unknown names wrap both
+// ErrInvalid and mctoperr.ErrUnknownPolicy; use Resolve to also find
+// registered custom policies.
 func ParsePolicy(s string) (Policy, error) {
 	if p, ok := policyByName[strings.ToUpper(strings.TrimSpace(s))]; ok {
 		return p, nil
 	}
-	return None, fmt.Errorf("%w: unknown policy %q", ErrInvalid, s)
+	return None, fmt.Errorf("%w: %w %q", ErrInvalid, mctoperr.ErrUnknownPolicy, s)
 }
 
 // Options tunes a placement. Zero values mean "use everything".
@@ -130,6 +134,7 @@ type Options struct {
 type Placement struct {
 	t      *topo.Topology
 	policy Policy
+	name   string
 	ctxs   []int // assignment order; -1 entries mean "unpinned" (None)
 
 	mu    sync.Mutex
@@ -140,41 +145,50 @@ type Placement struct {
 	free int
 }
 
-// New computes a placement for the policy. It fails for PowerPolicy on
-// machines without power measurements, and when the options are not
+// Custom is the Policy() answer for placements built from a non-builtin
+// Orderer (a combinator chain or a user policy); PolicyName carries the
+// actual identity.
+const Custom Policy = -1
+
+// New computes a placement for a builtin policy. It fails for PowerPolicy
+// on machines without power measurements, and when the options are not
 // satisfiable.
 func New(t *topo.Topology, policy Policy, opt Options) (*Placement, error) {
-	if opt.NSockets < 0 || opt.NThreads < 0 {
-		return nil, fmt.Errorf("%w: negative options %+v", ErrInvalid, opt)
-	}
-	nSockets := opt.NSockets
-	if nSockets == 0 || nSockets > t.NumSockets() {
-		nSockets = t.NumSockets()
-	}
-	if policy == PowerPolicy && !t.Power().Available() {
-		return nil, fmt.Errorf("%w: %v requires power measurements (Intel-only)", ErrInvalid, policy)
-	}
+	return NewFrom(t, policy, opt)
+}
 
-	order, err := buildOrder(t, policy, nSockets, opt.NThreads)
+// NewFrom computes a placement from any Orderer — a builtin Policy, a
+// combinator chain, or a user implementation. The order is validated
+// (every slot must be -1 or a context of this topology); correctable
+// failures wrap ErrInvalid.
+func NewFrom(t *topo.Topology, o Orderer, opt Options) (*Placement, error) {
+	if o == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrInvalid)
+	}
+	order, err := o.Order(t, opt)
 	if err != nil {
 		return nil, err
 	}
-	n := opt.NThreads
-	if n == 0 || n > len(order) {
-		n = len(order)
+	for i, c := range order {
+		if c < -1 || c >= t.NumHWContexts() {
+			return nil, fmt.Errorf("%w: policy %s slot %d names context %d (machine has %d)",
+				ErrInvalid, o.Name(), i, c, t.NumHWContexts())
+		}
 	}
-	if policy == RRScale && n > 0 {
-		// RRScale may have produced fewer slots than requested; order is
-		// already capped.
-		if opt.NThreads > 0 && opt.NThreads < n {
-			n = opt.NThreads
+	policy := Custom
+	if p, ok := o.(Policy); ok {
+		policy = p
+	} else if c, ok := o.(Chain); ok {
+		if p, ok := c.Orderer.(Policy); ok {
+			policy = p
 		}
 	}
 	return &Placement{
 		t:      t,
 		policy: policy,
-		ctxs:   order[:n],
-		taken:  make([]bool, n),
+		name:   o.Name(),
+		ctxs:   order,
+		taken:  make([]bool, len(order)),
 	}, nil
 }
 
@@ -471,8 +485,20 @@ func powerOrderScan(t *topo.Topology, nSockets, nThreads int) []int {
 	return chosen
 }
 
-// Policy returns the placement's policy.
+// Policy returns the placement's builtin policy, or Custom when the
+// placement was built from a combinator chain or a user Orderer — use
+// PolicyName for the full identity.
 func (p *Placement) Policy() Policy { return p.policy }
+
+// PolicyName returns the name of the Orderer that produced this placement
+// (the MCTOP_PLACE_* name for builtins, the composed name for chains, the
+// registered name for custom policies).
+func (p *Placement) PolicyName() string {
+	if p.name != "" {
+		return p.name
+	}
+	return p.policy.String()
+}
 
 // Topology returns the placement's topology.
 func (p *Placement) Topology() *topo.Topology { return p.t }
@@ -641,7 +667,7 @@ func (p *Placement) MaxPower(withDRAM bool) (perUsedSocket []float64, total floa
 // String renders the placement report of Figure 7.
 func (p *Placement) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "## MCTOP Placement    : %s\n", p.policy)
+	fmt.Fprintf(&b, "## MCTOP Placement    : %s\n", p.PolicyName())
 	fmt.Fprintf(&b, "#  # Cores            : %d\n", p.NCores())
 	ctxs := p.Contexts()
 	fmt.Fprintf(&b, "#  HW contexts (%d)   :", len(ctxs))

@@ -21,6 +21,8 @@ package registry
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -36,11 +38,22 @@ import (
 // substitute cheap or counting implementations.
 type InferFunc func(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error)
 
+// InferCtxFunc is InferFunc with cancellation: the context is the one the
+// winning caller of a singleflight wave passed in, and a conforming
+// implementation returns ctx.Err() promptly once it fires.
+type InferCtxFunc func(ctx context.Context, platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error)
+
 // Options configures a Registry. The zero value of every field has a sane
-// default except Infer, which is required.
+// default except the inference function: exactly one of Infer or InferCtx
+// is required (InferCtx wins when both are set).
 type Options struct {
-	// Infer computes a topology on a cache miss (required).
+	// Infer computes a topology on a cache miss, ignoring cancellation.
+	// Kept for callers predating the context-aware API; new code should
+	// set InferCtx.
 	Infer InferFunc
+	// InferCtx computes a topology on a cache miss, honoring the context
+	// of the caller that executes the computation.
+	InferCtx InferCtxFunc
 	// MaxEntries bounds the cached values across the whole registry
 	// (topologies and placements each count as one entry); the bound is
 	// split evenly across shards, so a shard receiving a skewed share of
@@ -71,7 +84,7 @@ type Stats struct {
 
 // Registry memoizes topologies and placements.
 type Registry struct {
-	infer    InferFunc
+	infer    InferCtxFunc
 	shards   []*shard
 	computes chan struct{} // semaphore over concurrent inferences; nil = unlimited
 
@@ -103,11 +116,17 @@ type call struct {
 	err  error
 }
 
-// New creates a registry. It panics if opt.Infer is nil: a registry without
-// an inference function cannot answer anything.
+// New creates a registry. It panics if both opt.Infer and opt.InferCtx are
+// nil: a registry without an inference function cannot answer anything.
 func New(opt Options) *Registry {
-	if opt.Infer == nil {
-		panic("registry: Options.Infer is required")
+	if opt.InferCtx == nil && opt.Infer == nil {
+		panic("registry: Options.Infer or Options.InferCtx is required")
+	}
+	if opt.InferCtx == nil {
+		infer := opt.Infer
+		opt.InferCtx = func(_ context.Context, platform string, seed uint64, o mctopalg.Options) (*topo.Topology, error) {
+			return infer(platform, seed, o)
+		}
 	}
 	if opt.MaxEntries <= 0 {
 		opt.MaxEntries = 256
@@ -119,7 +138,7 @@ func New(opt Options) *Registry {
 		opt.Shards = opt.MaxEntries
 	}
 	r := &Registry{
-		infer:  opt.Infer,
+		infer:  opt.InferCtx,
 		shards: make([]*shard, opt.Shards),
 	}
 	if opt.MaxConcurrentComputes == 0 {
@@ -162,25 +181,55 @@ func (r *Registry) shardOf(key string) *shard {
 // per concurrent wave of callers (singleflight) and caches the result. hit
 // reports whether this call was answered from cache without computing or
 // waiting on a computation.
-func (r *Registry) get(key string, fn func() (any, error)) (val any, hit bool, err error) {
+//
+// Cancellation semantics: a waiter whose ctx fires while another caller
+// computes stops waiting and returns ctx.Err() — the computation itself
+// keeps running under its owner's context and still populates the cache.
+// When the owner's own ctx fires, fn is expected to return ctx.Err();
+// nothing is cached and the in-flight slot is removed. Waiters of that
+// wave whose contexts are still healthy do not inherit the owner's
+// cancellation: they retry the lookup, and one of them becomes the next
+// owner — one flaky client must not fail every concurrent miss on the key.
+func (r *Registry) get(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, hit bool, err error) {
 	s := r.shardOf(key)
 
-	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		s.order.MoveToFront(el)
+	counted := false // this call is at most one hit or one miss, even across retries
+	var c *call
+	for c == nil {
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			s.order.MoveToFront(el)
+			s.mu.Unlock()
+			if counted {
+				// This caller already registered a miss (it waited on an
+				// owner that was cancelled); the entry appearing now does
+				// not make the call a hit.
+				return el.Value.(*entry).val, false, nil
+			}
+			r.hits.Add(1)
+			return el.Value.(*entry).val, true, nil
+		}
+		if !counted {
+			counted = true
+			r.misses.Add(1)
+		}
+		if w, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-w.done:
+				if w.err != nil && ctx.Err() == nil &&
+					(errors.Is(w.err, context.Canceled) || errors.Is(w.err, context.DeadlineExceeded)) {
+					continue // the owner's ctx fired, not ours: retry
+				}
+				return w.val, false, w.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		c = &call{done: make(chan struct{})}
+		s.inflight[key] = c
 		s.mu.Unlock()
-		r.hits.Add(1)
-		return el.Value.(*entry).val, true, nil
 	}
-	r.misses.Add(1)
-	if c, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-c.done
-		return c.val, false, c.err
-	}
-	c := &call{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.mu.Unlock()
 
 	// The cleanup must run even if fn panics: leaving the inflight entry
 	// behind would hang every future lookup of this key on c.done. A panic
@@ -207,7 +256,7 @@ func (r *Registry) get(key string, fn func() (any, error)) (val any, hit bool, e
 		close(c.done)
 	}()
 
-	c.val, c.err = fn()
+	c.val, c.err = fn(ctx)
 	completed = true
 	return c.val, false, c.err
 }
@@ -253,7 +302,15 @@ func topoKey(platform string, seed uint64, opt mctopalg.Options) string {
 // Topology returns the memoized topology for (platform, seed, opt),
 // inferring it on first use.
 func (r *Registry) Topology(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
-	t, _, err := r.LookupTopology(platform, seed, opt)
+	t, _, err := r.LookupTopologyContext(context.Background(), platform, seed, opt)
+	return t, err
+}
+
+// TopologyContext is Topology with cancellation: a waiter stops waiting
+// and returns ctx.Err() when its context fires, and the caller that owns
+// the inference aborts it (the inference function returns ctx.Err()).
+func (r *Registry) TopologyContext(ctx context.Context, platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
+	t, _, err := r.LookupTopologyContext(ctx, platform, seed, opt)
 	return t, err
 }
 
@@ -262,18 +319,28 @@ func (r *Registry) Topology(platform string, seed uint64, opt mctopalg.Options) 
 // an inference (servers report it per request; the global Stats counters
 // cannot distinguish concurrent callers).
 func (r *Registry) LookupTopology(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, bool, error) {
-	v, hit, err := r.get(topoKey(platform, seed, opt), func() (any, error) {
+	return r.LookupTopologyContext(context.Background(), platform, seed, opt)
+}
+
+// LookupTopologyContext is LookupTopology with cancellation.
+func (r *Registry) LookupTopologyContext(ctx context.Context, platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, bool, error) {
+	v, hit, err := r.get(ctx, topoKey(platform, seed, opt), func(ctx context.Context) (any, error) {
 		// Only inferences take a compute slot. Placement computes stay
 		// ungated: they are cheap, and a placement miss computes its
 		// topology through this very path — gating both would let two
 		// placement misses exhaust the slots and deadlock on their
-		// nested inferences.
+		// nested inferences. The acquire honors cancellation so a queued
+		// caller can give up before its inference starts.
 		if r.computes != nil {
-			r.computes <- struct{}{}
-			defer func() { <-r.computes }()
+			select {
+			case r.computes <- struct{}{}:
+				defer func() { <-r.computes }()
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		r.inferences.Add(1)
-		return r.infer(platform, seed, opt)
+		return r.infer(ctx, platform, seed, opt)
 	})
 	if err != nil {
 		return nil, hit, err
@@ -283,36 +350,61 @@ func (r *Registry) LookupTopology(platform string, seed uint64, opt mctopalg.Opt
 
 // placeKey extends a topology key with the placement parameters. Built with
 // appends for the same reason topoKey is: one of these is assembled per
-// placement request on the serving hot path.
-func placeKey(tk string, pol place.Policy, nThreads int) string {
+// placement request on the serving hot path. The policy is identified by
+// its Name — builtins keep the MCTOP_PLACE_* names they always had, so
+// existing cache keys are unchanged; composed and registered policies key
+// by their composed/registered name (Orderer's contract: the name uniquely
+// identifies the ordering).
+func placeKey(tk string, pol place.Orderer, nThreads int) string {
 	b := make([]byte, 0, len(tk)+32)
 	b = append(b, "place|"...)
 	b = append(b, tk...)
 	b = append(b, '|')
-	b = append(b, pol.String()...)
+	b = append(b, pol.Name()...)
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(nThreads), 10)
 	return string(b)
 }
 
 // Place returns the memoized placement of nThreads threads under the named
-// policy (as accepted by place.ParsePolicy) on the memoized topology for
-// (platform, seed, opt). The placement is shared between callers: treat it
-// as read-only (Contexts, String, the Figure 7 accessors) — the PinNext
-// cursor is global to all users of the registry.
+// policy (builtin or registered, as accepted by place.Resolve) on the
+// memoized topology for (platform, seed, opt). The placement is shared
+// between callers: treat it as read-only (Contexts, String, the Figure 7
+// accessors) — the PinNext cursor is global to all users of the registry.
 func (r *Registry) Place(platform string, seed uint64, opt mctopalg.Options, policy string, nThreads int) (*place.Placement, error) {
-	pol, err := place.ParsePolicy(policy)
+	return r.PlaceContext(context.Background(), platform, seed, opt, policy, nThreads)
+}
+
+// PlaceContext is Place with cancellation (see TopologyContext).
+func (r *Registry) PlaceContext(ctx context.Context, platform string, seed uint64, opt mctopalg.Options, policy string, nThreads int) (*place.Placement, error) {
+	pol, err := place.Resolve(policy)
 	if err != nil {
 		return nil, err
 	}
+	return r.PlaceWithContext(ctx, platform, seed, opt, pol, nThreads)
+}
+
+// PlaceWithContext places with a typed policy — a builtin place.Policy, a
+// combinator chain, or any Orderer — against the memoized topology,
+// memoizing the placement under the policy's Name. This is how callers use
+// composed policies that are not registered under a name.
+func (r *Registry) PlaceWithContext(ctx context.Context, platform string, seed uint64, opt mctopalg.Options, pol place.Orderer, nThreads int) (*place.Placement, error) {
+	if pol == nil {
+		return nil, fmt.Errorf("%w: nil policy", place.ErrInvalid)
+	}
+	if pol.Name() == "" {
+		// Placements memoize by policy name; an empty name would let every
+		// anonymous policy share one cache slot and serve wrong mappings.
+		return nil, fmt.Errorf("%w: policy has empty name", place.ErrInvalid)
+	}
 	key := placeKey(topoKey(platform, seed, opt), pol, nThreads)
-	v, _, err := r.get(key, func() (any, error) {
-		t, err := r.Topology(platform, seed, opt)
+	v, _, err := r.get(ctx, key, func(ctx context.Context) (any, error) {
+		t, err := r.TopologyContext(ctx, platform, seed, opt)
 		if err != nil {
 			return nil, err
 		}
 		r.placements.Add(1)
-		return place.New(t, pol, place.Options{NThreads: nThreads})
+		return place.NewFrom(t, pol, place.Options{NThreads: nThreads})
 	})
 	if err != nil {
 		return nil, err
@@ -341,22 +433,32 @@ type BatchResult struct {
 // Per-request failures land in the matching BatchResult; the returned error
 // is reserved for the topology itself being unavailable.
 func (r *Registry) PlaceBatch(platform string, seed uint64, opt mctopalg.Options, reqs []PlaceRequest) ([]BatchResult, error) {
-	t, _, err := r.LookupTopology(platform, seed, opt)
+	return r.PlaceBatchContext(context.Background(), platform, seed, opt, reqs)
+}
+
+// PlaceBatchContext is PlaceBatch with cancellation: the context covers the
+// topology lookup and every per-request placement, so a request deadline
+// bounds the whole batch.
+func (r *Registry) PlaceBatchContext(ctx context.Context, platform string, seed uint64, opt mctopalg.Options, reqs []PlaceRequest) ([]BatchResult, error) {
+	t, _, err := r.LookupTopologyContext(ctx, platform, seed, opt)
 	if err != nil {
 		return nil, err
 	}
 	tk := topoKey(platform, seed, opt)
 	out := make([]BatchResult, len(reqs))
 	for i, req := range reqs {
-		pol, err := place.ParsePolicy(req.Policy)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pol, err := place.Resolve(req.Policy)
 		if err != nil {
 			out[i].Err = err
 			continue
 		}
 		nThreads := req.NThreads
-		v, _, err := r.get(placeKey(tk, pol, nThreads), func() (any, error) {
+		v, _, err := r.get(ctx, placeKey(tk, pol, nThreads), func(context.Context) (any, error) {
 			r.placements.Add(1)
-			return place.New(t, pol, place.Options{NThreads: nThreads})
+			return place.NewFrom(t, pol, place.Options{NThreads: nThreads})
 		})
 		if err != nil {
 			out[i].Err = err

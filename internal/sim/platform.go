@@ -17,6 +17,8 @@ package sim
 
 import (
 	"fmt"
+
+	"repro/internal/mctoperr"
 )
 
 // Numbering describes how an operating system enumerates hardware contexts.
@@ -586,7 +588,7 @@ func ByName(name string) (*Platform, error) {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("sim: unknown platform %q", name)
+	return nil, fmt.Errorf("sim: %w %q (one of Ivy, Westmere, Haswell, Opteron, SPARC)", mctoperr.ErrUnknownPlatform, name)
 }
 
 // Custom builds a synthetic fully connected machine for property tests:

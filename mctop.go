@@ -8,8 +8,52 @@
 // context-to-context latency measurements, exploiting the determinism of
 // cache-coherence protocols.
 //
-// This package is the library facade. The heavy lifting lives in the
-// internal packages:
+// This package is the client API — the Go shape of the paper's MCTOP-LIB
+// (Section 5). Its pieces:
+//
+//   - Infer / InferDetailed — context-aware inference of one of the five
+//     simulated platforms, tuned by functional options (WithReps,
+//     WithParallelism, WithForkedEnrich); cancelling the context aborts
+//     the O(N²) measurement phase.
+//   - Policy — the composable placement-policy interface. The 12 builtin
+//     policies of Table 2 (ConHWC, RRCore, …) implement it; combinators
+//     (Limit, OnSockets, Reverse) wrap any Policy into a new one; custom
+//     policies register by name (RegisterPolicy) and are then placeable
+//     through the Registry and mctopd like builtins.
+//   - Alloc — the mctop_alloc mirror: a topology-aware thread allocator
+//     applications hold, offering Pin/Unpin per thread id and the
+//     Figure 7 report.
+//   - Registry — the concurrency-safe, LRU-bounded topology service layer
+//     with context-aware lookups (TopologyContext, PlaceContext,
+//     PlaceBatchContext), the backend of cmd/mctopd.
+//   - Structured errors — ErrUnknownPlatform, ErrUnknownPolicy,
+//     ErrInvalidRequest, ErrTooLarge, ErrSaturated — that errors.Is
+//     matches through every layer; cmd/mctopd maps them to HTTP statuses
+//     in one place.
+//
+// Quick start:
+//
+//	top, err := mctop.Infer(ctx, "Ivy", 42)                 // simulate + infer + enrich
+//	pol := mctop.OnSockets(mctop.RRCore, 0).Limit(8)        // compose a policy
+//	alloc, err := mctop.NewAlloc(top, pol)                  // the mctop_alloc object
+//	hwc, err := alloc.Pin(0)                                // thread 0's context
+//	fmt.Print(alloc.Report())                               // the Figure 7 report
+//
+// Serving topologies (what cmd/mctopd builds on). Note the registry keeps
+// the zero-value Options semantics — paper defaults, n = 2000 reps — so
+// pass WithReps explicitly for the facade's fast 201-rep configuration
+// (and to share cache entries with Infer's results):
+//
+//	reg := mctop.NewRegistry(256)                           // LRU bound
+//	opt := mctop.NewOptions(mctop.WithReps(201))
+//	top, err := reg.TopologyContext(ctx, "Ivy", 42, opt)
+//	pl, err := reg.PlaceContext(ctx, "Ivy", 42, opt, "RR_CORE", 8)
+//
+// The pre-redesign facade (InferPlatform, Place, string-keyed policies,
+// the raw Options struct) is kept below as thin deprecated shims over the
+// new API; see README.md for the migration table.
+//
+// The heavy lifting lives in the internal packages:
 //
 //   - internal/sim       — deterministic simulators of the paper's five
 //     machines (Ivy, Westmere, Haswell, Opteron, SPARC T4-4)
@@ -20,43 +64,24 @@
 //   - internal/topo      — the MCTOP representation, description files,
 //     Graphviz output (Section 2)
 //   - internal/plugins   — memory/cache/power enrichment (Section 4)
-//   - internal/place     — MCTOP-PLACE, the 12 placement policies
-//     (Section 6)
-//   - internal/registry — the topology service layer: a sharded,
-//     singleflight-deduplicated, LRU-bounded cache that memoizes inference
-//     results and derived placements (the paper's "created once, then used
-//     to load the topology" deployment model, Section 2)
+//   - internal/place     — MCTOP-PLACE: the 12 placement policies, the
+//     Policy interface and combinators (Section 6)
+//   - internal/mctoperr  — the sentinel errors of the client API
+//   - internal/registry  — the topology service layer (the paper's
+//     "created once, then used to load the topology" deployment model,
+//     Section 2)
 //   - internal/locks, internal/contend, internal/msort, internal/reduce,
 //     internal/mapreduce, internal/graph, internal/omp,
 //     internal/worksteal — the portable-optimization case studies
 //     (Sections 5 and 7)
-//
-// Inference parallelism: on simulated machines the O(N²) measurement phase
-// of MCTOP-ALG fans out over a bounded worker pool (Options.Parallelism),
-// measuring each context pair on an independent deterministic fork — the
-// inferred topology is byte-identical to a sequential run for a fixed seed.
-//
-// Quick start:
-//
-//	top, err := mctop.InferPlatform("Ivy", 42)   // simulate + infer + enrich
-//	node := top.GetLocalNode(0)                  // query the abstraction
-//	pl, err := mctop.Place(top, "CON_HWC", 30)   // place 30 threads
-//	fmt.Print(pl)                                // the Figure 7 report
-//
-// Serving topologies (what cmd/mctopd builds on):
-//
-//	reg := mctop.NewRegistry(256)                        // LRU bound
-//	top, err := reg.Topology("Ivy", 42, mctop.Options{}) // infers once
-//	pl, err := reg.Place("Ivy", 42, mctop.Options{}, "RR_CORE", 8)
 package mctop
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/machine"
 	"repro/internal/mctopalg"
 	"repro/internal/place"
-	"repro/internal/plugins"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -84,11 +109,14 @@ func Platforms() []string {
 
 // Options tunes inference; see mctopalg.Options. The zero value uses the
 // paper's defaults (n = 2000 repetitions, 7%-14% stdev thresholds).
+// Prefer building it with NewOptions and the With* functional options.
 type Options = mctopalg.Options
 
 // InferPlatform simulates one of the paper's machines with the given noise
 // seed, runs MCTOP-ALG on it, enriches the result with all four plugins,
 // and returns the topology.
+//
+// Deprecated: use Infer, which takes a context and functional options.
 func InferPlatform(name string, seed uint64) (*Topology, error) {
 	t, _, err := InferPlatformDetailed(name, seed, Options{Reps: 201})
 	return t, err
@@ -97,46 +125,17 @@ func InferPlatform(name string, seed uint64) (*Topology, error) {
 // InferPlatformDetailed is InferPlatform with explicit options and access
 // to the intermediate artifacts (the latency table, clusters, normalized
 // table — everything Figure 6 shows).
+//
+// Deprecated: use InferDetailed, which takes a context and functional
+// options.
 func InferPlatformDetailed(name string, seed uint64, opt Options) (*Topology, *InferResult, error) {
-	p, err := sim.ByName(name)
-	if err != nil {
-		return nil, nil, err
-	}
-	m, err := machine.NewSim(p, seed)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := mctopalg.Infer(m, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	var enriched *Topology
-	if opt.ForkedEnrich {
-		// Fork-per-probe enrichment: deterministic for the seed and
-		// byte-identical for every Parallelism, like the measurement
-		// phase (see mctopalg.Options.ForkedEnrich for why it is opt-in).
-		enriched, err = plugins.EnrichForked(m, res.Topology, nil, opt.Parallelism)
-	} else {
-		enriched, err = plugins.Enrich(m, res.Topology, nil)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	res.Topology = enriched
-	return enriched, res, nil
+	return inferPlatform(context.Background(), name, seed, opt)
 }
 
-// InferHost runs MCTOP-ALG on the real host, best effort: the Go runtime
-// adds far more noise than the paper's C implementation tolerates, so the
-// result is illustrative (and may fail with a clustering error on noisy
-// machines — retry, as Section 3.5 prescribes).
+// InferHost runs MCTOP-ALG on the real host, best effort (see
+// InferHostContext, which this delegates to with a background context).
 func InferHost(opt Options) (*Topology, *InferResult, error) {
-	m := machine.NewHost()
-	res, err := mctopalg.Infer(m, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Topology, res, nil
+	return inferHost(context.Background(), opt)
 }
 
 // Load reads a topology from an MCTOP description file.
@@ -149,15 +148,18 @@ func Save(path string, t *Topology) error { return topo.SaveFile(path, t) }
 // Place builds a thread placement using one of the 12 policies of Table 2,
 // named as in the paper (e.g. "CON_HWC", "RR_CORE", "POWER"); nThreads = 0
 // uses every context the policy allows.
+//
+// Deprecated: use NewAlloc with a typed Policy (ResolvePolicy turns a name
+// into one), which also supports combinators and custom policies.
 func Place(t *Topology, policy string, nThreads int) (*Placement, error) {
-	pol, err := place.ParsePolicy(policy)
+	pol, err := place.Resolve(policy)
 	if err != nil {
 		return nil, err
 	}
-	return place.New(t, pol, place.Options{NThreads: nThreads})
+	return place.NewFrom(t, pol, place.Options{NThreads: nThreads})
 }
 
-// PolicyNames lists the 12 placement policies.
+// PolicyNames lists the 12 builtin placement policies.
 func PolicyNames() []string {
 	var out []string
 	for _, p := range place.Policies() {
@@ -165,6 +167,10 @@ func PolicyNames() []string {
 	}
 	return out
 }
+
+// RegisteredPolicyNames lists the names of the registered custom policies,
+// sorted.
+func RegisteredPolicyNames() []string { return place.RegisteredNames() }
 
 // Validate cross-checks a topology against an OS view (Section 3.6) and
 // returns human-readable divergences; empty means agreement.
@@ -185,7 +191,8 @@ func Describe(t *Topology) string {
 // and derived placements, keyed by (platform, seed, options). Concurrent
 // misses on one key collapse into a single inference (singleflight); hits
 // are lock-cheap map lookups, orders of magnitude faster than re-running
-// MCTOP-ALG. See internal/registry for the full API and semantics.
+// MCTOP-ALG. The *Context methods honor cancellation and deadlines. See
+// internal/registry for the full API and semantics.
 type Registry = registry.Registry
 
 // RegistryStats is a snapshot of a Registry's hit/miss/eviction counters.
@@ -202,13 +209,13 @@ type BatchResult = registry.BatchResult
 
 // NewRegistry creates a topology registry bounded to maxEntries cached
 // values (topologies and placements each count as one; <= 0 uses the
-// default of 256). Misses run the full InferPlatformDetailed pipeline:
-// simulate, infer, enrich.
+// default of 256). Misses run the full simulate → infer → enrich pipeline
+// under the caller's context.
 func NewRegistry(maxEntries int) *Registry {
 	return registry.New(registry.Options{
 		MaxEntries: maxEntries,
-		Infer: func(platform string, seed uint64, opt Options) (*Topology, error) {
-			t, _, err := InferPlatformDetailed(platform, seed, opt)
+		InferCtx: func(ctx context.Context, platform string, seed uint64, opt Options) (*Topology, error) {
+			t, _, err := inferPlatform(ctx, platform, seed, opt)
 			return t, err
 		},
 	})
