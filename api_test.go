@@ -238,3 +238,41 @@ func TestDeprecatedShimsStillWork(t *testing.T) {
 		}
 	}
 }
+
+// TestWithSpoolDirWarmStart: the facade option wires the tiered store the
+// way mctopd's -spool-dir does — a second registry over the same dir
+// serves spooled entries with zero inferences, and the LRU tier honors
+// NewRegistry's entry bound.
+func TestWithSpoolDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	opt := mctop.NewOptions(fastOpts()...)
+
+	r1 := mctop.NewRegistry(64, mctop.WithSpoolDir(dir))
+	top1, err := r1.Topology("Ivy", 42, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := r1.Stats(); st.Inferences != 1 {
+		t.Fatalf("inferring registry ran %d inferences", st.Inferences)
+	}
+
+	r2 := mctop.NewRegistry(64, mctop.WithSpoolDir(dir))
+	defer r2.Close()
+	top2, err := r2.Topology("Ivy", 42, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Stats()
+	if st.Inferences != 0 {
+		t.Fatalf("warm registry ran %d inferences, want 0", st.Inferences)
+	}
+	if top2.Name() != top1.Name() || top2.NumHWContexts() != top1.NumHWContexts() {
+		t.Fatal("warm topology differs")
+	}
+	if len(st.Tiers) != 2 || st.Tiers[0].Tier != "lru" || st.Tiers[1].Tier != "spool" {
+		t.Fatalf("tiers = %+v, want lru over spool", st.Tiers)
+	}
+}

@@ -1,19 +1,23 @@
 // Command benchdelta compares two BENCH_*.json files (the cmd/bench2json
 // output CI archives) and prints a per-benchmark delta table — the
-// warning-only regression report of the CI benchmark trajectory:
+// regression report of the CI benchmark trajectory:
 //
-//	benchdelta [-warn-pct 20] previous.json current.json
+//	benchdelta [-warn-pct 20] [-max-regress-pct 0] previous.json current.json
 //
-// Benchmarks are matched by (pkg, name). The exit code is always 0 — the
-// report warns, it does not gate — because single-iteration CI benchmarks
-// are too noisy to fail a build on; the table is for humans (and future
-// tooling) reading the run.
+// Benchmarks are matched by (pkg, name). By default the report only warns
+// (exit code 0) — single-iteration CI benchmarks are too noisy to fail a
+// build on; the table is for humans (and future tooling) reading the run.
+// Setting -max-regress-pct to a positive threshold turns the report into a
+// gate: the exit code is 1 when any benchmark regressed past it, so CI can
+// flip the warning into a real regression gate by changing one flag once
+// enough BENCH_ci.json history exists to pick a trustworthy threshold.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -32,9 +36,11 @@ type document struct {
 
 func main() {
 	warnPct := flag.Float64("warn-pct", 20, "flag benchmarks slower than this percentage as WARN")
+	maxRegressPct := flag.Float64("max-regress-pct", 0,
+		"fail (exit 1) when any benchmark regresses more than this percentage (<= 0 disables the gate)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdelta [-warn-pct N] previous.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-warn-pct N] [-max-regress-pct N] previous.json current.json")
 		os.Exit(2)
 	}
 	prev, err := load(flag.Arg(0))
@@ -47,7 +53,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
 		os.Exit(2)
 	}
-	report(os.Stdout, prev, cur, *warnPct)
+	worst := report(os.Stdout, prev, cur, *warnPct)
+	if *maxRegressPct > 0 && worst > *maxRegressPct {
+		fmt.Printf("\nFAIL: worst regression %+.1f%% exceeds -max-regress-pct %.0f%%\n", worst, *maxRegressPct)
+		os.Exit(1)
+	}
 }
 
 func load(path string) (map[string]Result, error) {
@@ -66,10 +76,11 @@ func load(path string) (map[string]Result, error) {
 	return out, nil
 }
 
-// report writes the delta table: matched benchmarks with their ns/op
-// change, then benchmarks only one side has. Rows are sorted by key so two
-// runs over the same data produce identical reports.
-func report(w *os.File, prev, cur map[string]Result, warnPct float64) {
+// report writes the delta table — matched benchmarks with their ns/op
+// change, then benchmarks only one side has — and returns the worst
+// regression percentage (0 when nothing regressed). Rows are sorted by key
+// so two runs over the same data produce identical reports.
+func report(w io.Writer, prev, cur map[string]Result, warnPct float64) (worst float64) {
 	keys := make([]string, 0, len(cur))
 	for k := range cur {
 		keys = append(keys, k)
@@ -86,6 +97,9 @@ func report(w *os.File, prev, cur map[string]Result, warnPct float64) {
 			continue
 		}
 		delta := (c.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		if delta > worst {
+			worst = delta
+		}
 		mark := ""
 		if delta > warnPct {
 			mark = "  WARN"
@@ -106,4 +120,5 @@ func report(w *os.File, prev, cur map[string]Result, warnPct float64) {
 	if warned > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% (warning only; 1x CI iterations are noisy)\n", warned, warnPct)
 	}
+	return worst
 }

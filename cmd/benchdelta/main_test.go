@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -67,6 +68,34 @@ func TestReportDeltas(t *testing.T) {
 		if strings.Contains(line, "GetLatency") && strings.Contains(line, "WARN") {
 			t.Errorf("GetLatency improvement flagged WARN: %q", line)
 		}
+	}
+}
+
+// TestWorstRegression: report returns the worst regression percentage —
+// what -max-regress-pct gates on. New and gone benchmarks never count.
+func TestWorstRegression(t *testing.T) {
+	parse := func(doc string) map[string]Result {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "doc.json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	prev := parse(prevJSON)
+	cur := parse(curJSON)
+
+	worst := report(io.Discard, prev, cur, 20)
+	if worst < 49.9 || worst > 50.1 {
+		t.Fatalf("worst regression = %.1f%%, want ~50%% (PowerOrder 1000 -> 1500)", worst)
+	}
+	// An all-improved run gates clean.
+	if worst := report(io.Discard, cur, cur, 20); worst != 0 {
+		t.Fatalf("identical runs report worst regression %.1f%%, want 0", worst)
 	}
 }
 

@@ -9,6 +9,22 @@
 //	mctop -platform Ivy -validate
 //	mctop -host
 //	mctop -load opteron.mct
+//
+// The export and import subcommands move topologies between a registry
+// spool (the persistence tier mctopd's -spool-dir uses) and standalone
+// description files — the interchange format between the CLI, the library
+// (mctop.Load/Save) and the daemon:
+//
+//	mctop export -spool /var/lib/mctop/spool -platform Ivy -seed 42 -o ivy.mctop
+//	mctop import -spool /var/lib/mctop/spool ivy.mctop westmere.mctop
+//
+// export resolves the topology through a spool-backed registry — a spool
+// hit costs a file decode, a miss runs the inference and leaves the spool
+// populated — and writes a description file carrying its registry key as a
+// `#key` comment header. import installs description files into a spool:
+// files with a key header keep it; bare files get the key of
+// (-platform|spec name, -seed, -reps), the triple a daemon or library
+// client would look up.
 package main
 
 import (
@@ -20,10 +36,117 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mctopalg"
 	"repro/internal/plugins"
+	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/spool"
+	"repro/internal/topo"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "export":
+			runExport(os.Args[2:])
+			return
+		case "import":
+			runImport(os.Args[2:])
+			return
+		}
+	}
+	runInfer()
+}
+
+// runExport materializes one topology as a description file, reading
+// through (and writing back to) a spool when one is given.
+func runExport(args []string) {
+	fs := flag.NewFlagSet("mctop export", flag.ExitOnError)
+	var (
+		spoolDir = fs.String("spool", "", "spool directory to read through (and populate on a miss)")
+		platform = fs.String("platform", "Ivy", "simulated platform: Ivy, Westmere, Haswell, Opteron, SPARC")
+		seed     = fs.Uint64("seed", 42, "simulator noise seed")
+		reps     = fs.Int("reps", 201, "repetitions per context pair")
+		out      = fs.String("o", "-", "output file (- = stdout)")
+	)
+	fs.Parse(args)
+	opt := mctop.NewOptions(mctop.WithReps(*reps))
+
+	var regOpts []mctop.RegistryOption
+	if *spoolDir != "" {
+		sp, err := spool.New(*spoolDir)
+		fail(err)
+		regOpts = append(regOpts, mctop.WithStore(
+			mctop.NewTieredStore(mctop.NewLRUStore(16, 1), sp)))
+	}
+	reg := mctop.NewRegistry(16, regOpts...)
+	top, hit, err := reg.LookupTopology(*platform, *seed, opt)
+	fail(err)
+	fail(reg.Close())
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		fail(err)
+		defer f.Close()
+		w = f
+	}
+	// The key header makes the file re-importable under the exact triple a
+	// serving registry looks up; topo.Decode skips it as a comment.
+	key := registry.TopoKey(*platform, *seed, opt)
+	_, err = fmt.Fprintf(w, "#key %s\n", key)
+	fail(err)
+	spec := top.Spec()
+	fail(topo.Encode(w, &spec))
+	if *out != "-" {
+		src := "inferred"
+		if hit {
+			src = "served from cache/spool"
+		}
+		fmt.Printf("exported %s (seed %d, %s) to %s\n", *platform, *seed, src, *out)
+	}
+}
+
+// runImport installs description files into a spool.
+func runImport(args []string) {
+	fs := flag.NewFlagSet("mctop import", flag.ExitOnError)
+	var (
+		spoolDir = fs.String("spool", "", "spool directory to install into (required)")
+		platform = fs.String("platform", "", "platform key for bare files (default: the description's name)")
+		seed     = fs.Uint64("seed", 42, "seed key for bare files")
+		reps     = fs.Int("reps", 201, "reps key for bare files")
+	)
+	fs.Parse(args)
+	if *spoolDir == "" || fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mctop import -spool DIR [-platform P] [-seed N] [-reps R] file.mctop...")
+		os.Exit(2)
+	}
+	sp, err := spool.New(*spoolDir)
+	fail(err)
+	// The spool's cache-tier contract degrades write failures to log
+	// lines; an explicit install must fail loudly instead, so compare its
+	// error counter around the imports (the scan may already have counted
+	// skips for unrelated junk in the directory).
+	preErrors := sp.Stats()[0].Errors
+	for _, path := range fs.Args() {
+		key, top, err := spool.DecodeTopologyFile(path)
+		fail(err)
+		if key == "" {
+			name := *platform
+			if name == "" {
+				name = top.Name()
+			}
+			key = registry.TopoKey(name, *seed, mctop.NewOptions(mctop.WithReps(*reps)))
+		}
+		sp.Put(registry.KindTopology, key, top)
+		fmt.Printf("imported %s as %q\n", path, key)
+	}
+	fail(sp.Close())
+	if n := sp.Stats()[0].Errors - preErrors; n > 0 {
+		fmt.Fprintf(os.Stderr, "mctop: %d import(s) failed to persist (see log above)\n", n)
+		os.Exit(1)
+	}
+}
+
+func runInfer() {
 	var (
 		platform = flag.String("platform", "Ivy", "simulated platform: Ivy, Westmere, Haswell, Opteron, SPARC")
 		seed     = flag.Uint64("seed", 42, "simulator noise seed")

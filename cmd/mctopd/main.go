@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	mctopd -addr :8077 -cache 256 -max-inflight 64
+//	mctopd -addr :8077 -cache 256 -max-inflight 64 -spool-dir /var/lib/mctop/spool
+//
+// With -spool-dir, every inferred topology and computed placement is also
+// persisted as a description file (write-behind, crash-safe temp+rename),
+// and a restarted daemon warm-starts from the spool: it serves every
+// previously seen platform byte-identically with zero re-inferences. On
+// SIGTERM/SIGINT the daemon drains in-flight requests and flushes the
+// spool before exiting.
 //
 // Endpoints:
 //
@@ -54,9 +61,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	mctop "repro"
@@ -69,12 +79,25 @@ func main() {
 		addr     = flag.String("addr", ":8077", "listen address")
 		cache    = flag.Int("cache", 256, "maximum cached topologies + placements (LRU beyond)")
 		reps     = flag.Int("reps", 201, "default repetitions per context pair")
+		spoolDir = flag.String("spool-dir", "",
+			"persist inferred topologies and placements as description files here; a restarted daemon warm-starts from them (empty = memory only)")
 		inflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
 			"maximum concurrent in-flight requests before shedding with 503 (<= 0 disables)")
 	)
 	flag.Parse()
 
-	s := newServerWith(mctop.NewRegistry(*cache), *reps, *inflight)
+	var regOpts []mctop.RegistryOption
+	if *spoolDir != "" {
+		sp, err := mctop.OpenSpool(*spoolDir)
+		if err != nil {
+			log.Fatalf("mctopd: %v", err)
+		}
+		regOpts = append(regOpts, mctop.WithStore(
+			mctop.NewTieredStore(mctop.NewLRUStore(*cache, 0), sp)))
+		log.Printf("mctopd: spooling to %s (%d entries on disk)", *spoolDir, sp.Len())
+	}
+	reg := mctop.NewRegistry(*cache, regOpts...)
+	s := newServerWith(reg, *reps, *inflight)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -84,7 +107,29 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("mctopd: serving topology queries on %s (cache %d entries, %d in-flight)", *addr, *cache, *inflight)
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, drain in-flight
+	// requests, then flush the registry so every entry the process served
+	// is durable in the spool — the next start answers them with zero
+	// re-inferences.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("mctopd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("mctopd: shutdown: %v", err)
+	}
+	if err := reg.Close(); err != nil {
+		log.Printf("mctopd: flushing spool: %v", err)
+	}
 }
 
 // server holds the daemon's registry and defaults; split from main so tests

@@ -9,18 +9,19 @@
 // inputs. The Registry memoizes inference results and derived placements
 // under a key of (platform, seed, options-hash):
 //
-//   - sharded: keys hash onto independent shards, each with its own lock,
-//     so concurrent lookups of different topologies never contend;
 //   - singleflight: concurrent misses on the same key collapse into one
 //     inference — the first caller computes, the rest wait for its result;
-//   - LRU-bounded: each shard evicts its least-recently-used entries beyond
-//     its capacity share, so a long-running daemon's memory stays flat.
+//   - tiered: the cache behind the singleflight is a pluggable Store
+//     (store.go). The default is the sharded, LRU-bounded in-memory tier
+//     (lru.go), so a long-running daemon's memory stays flat; chaining it
+//     over internal/spool's description-file tier (NewTiered) makes the
+//     cache survive restarts — a cold miss that hits the spool decodes a
+//     description file instead of re-running the O(N²) inference.
 //
 // All methods are safe for concurrent use and pass `go test -race`.
 package registry
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -54,14 +55,19 @@ type Options struct {
 	// InferCtx computes a topology on a cache miss, honoring the context
 	// of the caller that executes the computation.
 	InferCtx InferCtxFunc
-	// MaxEntries bounds the cached values across the whole registry
+	// Store is the cache behind the singleflight — a single tier or a
+	// NewTiered chain. Nil builds the default in-memory LRU from
+	// MaxEntries and Shards; when Store is set, MaxEntries and Shards are
+	// ignored (bound the LRU tier you pass in instead).
+	Store Store
+	// MaxEntries bounds the cached values of the default LRU store
 	// (topologies and placements each count as one entry); the bound is
 	// split evenly across shards, so a shard receiving a skewed share of
-	// hot keys may evict before the registry as a whole is full.
+	// hot keys may evict before the store as a whole is full.
 	// Default 256.
 	MaxEntries int
-	// Shards is the number of independently locked cache shards.
-	// Default 8.
+	// Shards is the number of independently locked shards of the default
+	// LRU store (and of the singleflight table). Default 8.
 	Shards int
 	// MaxConcurrentComputes bounds how many cache misses may compute at
 	// once across the whole registry; further misses queue. One inference
@@ -74,38 +80,34 @@ type Options struct {
 
 // Stats is a snapshot of the registry's counters.
 type Stats struct {
-	Hits       int64 // lookups answered from cache
+	Hits       int64 // lookups answered from the store (any tier)
 	Misses     int64 // lookups that computed (or joined a computation)
 	Inferences int64 // actual topology inferences executed
 	Placements int64 // actual placements computed
-	Evictions  int64 // entries dropped by the LRU bound
-	Entries    int   // currently cached entries
+	Evictions  int64 // entries dropped by a capacity bound, summed over tiers
+	Entries    int   // entries resident in the fastest tier
+	// Tiers breaks the store down per tier (LRU, spool, …), fastest first.
+	Tiers []StoreStats `json:",omitempty"`
 }
 
 // Registry memoizes topologies and placements.
 type Registry struct {
 	infer    InferCtxFunc
-	shards   []*shard
+	store    Store
+	flights  []*flightShard
 	computes chan struct{} // semaphore over concurrent inferences; nil = unlimited
 
 	hits       atomic.Int64
 	misses     atomic.Int64
 	inferences atomic.Int64
 	placements atomic.Int64
-	evictions  atomic.Int64
 }
 
-type shard struct {
+// flightShard is one lock stripe of the singleflight table, independent of
+// the store so pluggable tiers never hold cache locks while computing.
+type flightShard struct {
 	mu       sync.Mutex
-	cap      int // this shard's share of Options.MaxEntries
-	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
 	inflight map[string]*call
-}
-
-type entry struct {
-	key string
-	val any
 }
 
 // call is one in-flight computation; late arrivals wait on done and share
@@ -128,18 +130,19 @@ func New(opt Options) *Registry {
 			return infer(platform, seed, o)
 		}
 	}
-	if opt.MaxEntries <= 0 {
-		opt.MaxEntries = 256
-	}
 	if opt.Shards <= 0 {
 		opt.Shards = 8
 	}
-	if opt.Shards > opt.MaxEntries {
-		opt.Shards = opt.MaxEntries
+	if opt.Store == nil {
+		opt.Store = NewLRU(opt.MaxEntries, opt.Shards)
 	}
 	r := &Registry{
-		infer:  opt.InferCtx,
-		shards: make([]*shard, opt.Shards),
+		infer:   opt.InferCtx,
+		store:   opt.Store,
+		flights: make([]*flightShard, opt.Shards),
+	}
+	for i := range r.flights {
+		r.flights[i] = &flightShard{inflight: make(map[string]*call)}
 	}
 	if opt.MaxConcurrentComputes == 0 {
 		opt.MaxConcurrentComputes = 2
@@ -147,40 +150,24 @@ func New(opt Options) *Registry {
 	if opt.MaxConcurrentComputes > 0 {
 		r.computes = make(chan struct{}, opt.MaxConcurrentComputes)
 	}
-	// Split MaxEntries across shards, handing the remainder out one entry
-	// at a time so the total capacity is exactly the requested bound.
-	base, extra := opt.MaxEntries/opt.Shards, opt.MaxEntries%opt.Shards
-	for i := range r.shards {
-		cap := base
-		if i < extra {
-			cap++
-		}
-		r.shards[i] = &shard{
-			cap:      cap,
-			entries:  make(map[string]*list.Element),
-			order:    list.New(),
-			inflight: make(map[string]*call),
-		}
-	}
 	return r
 }
 
-// shardOf picks a shard by an inlined FNV-1a over the key: this runs on
-// every lookup, and the hash/fnv Hasher would cost two heap allocations per
-// call on the serving hot path.
-func (r *Registry) shardOf(key string) *shard {
+// flightOf picks a singleflight stripe by an inlined FNV-1a over the key
+// (same rationale as LRU.shardOf: no allocations on the lookup path).
+func (r *Registry) flightOf(key string) *flightShard {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return r.shards[h%uint32(len(r.shards))]
+	return r.flights[h%uint32(len(r.flights))]
 }
 
 // get returns the cached value for key, or computes it via fn exactly once
-// per concurrent wave of callers (singleflight) and caches the result. hit
-// reports whether this call was answered from cache without computing or
-// waiting on a computation.
+// per concurrent wave of callers (singleflight) and writes the result
+// through the store. hit reports whether this call was answered from the
+// store without computing or waiting on a computation.
 //
 // Cancellation semantics: a waiter whose ctx fires while another caller
 // computes stops waiting and returns ctx.Err() — the computation itself
@@ -190,31 +177,31 @@ func (r *Registry) shardOf(key string) *shard {
 // wave whose contexts are still healthy do not inherit the owner's
 // cancellation: they retry the lookup, and one of them becomes the next
 // owner — one flaky client must not fail every concurrent miss on the key.
-func (r *Registry) get(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, hit bool, err error) {
-	s := r.shardOf(key)
+func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(context.Context) (any, error)) (val any, hit bool, err error) {
+	// Fast path: a store hit never touches the singleflight locks. On a
+	// tiered store this may decode from a persistent tier — still orders
+	// of magnitude cheaper than computing.
+	if v, ok := r.store.Get(kind, key); ok {
+		r.hits.Add(1)
+		return v, true, nil
+	}
+	r.misses.Add(1) // this call is at most one hit or one miss, even across retries
 
-	counted := false // this call is at most one hit or one miss, even across retries
+	f := r.flightOf(key)
 	var c *call
 	for c == nil {
-		s.mu.Lock()
-		if el, ok := s.entries[key]; ok {
-			s.order.MoveToFront(el)
-			s.mu.Unlock()
-			if counted {
-				// This caller already registered a miss (it waited on an
-				// owner that was cancelled); the entry appearing now does
-				// not make the call a hit.
-				return el.Value.(*entry).val, false, nil
-			}
-			r.hits.Add(1)
-			return el.Value.(*entry).val, true, nil
+		f.mu.Lock()
+		// Re-check the store under the flight lock: an owner publishes its
+		// result to the store before clearing the in-flight slot, so a miss
+		// observed before the lock may have landed by now.
+		if v, ok := r.store.Get(kind, key); ok {
+			f.mu.Unlock()
+			// This caller registered a miss; the entry appearing now does
+			// not make the call a hit.
+			return v, false, nil
 		}
-		if !counted {
-			counted = true
-			r.misses.Add(1)
-		}
-		if w, ok := s.inflight[key]; ok {
-			s.mu.Unlock()
+		if w, ok := f.inflight[key]; ok {
+			f.mu.Unlock()
 			select {
 			case <-w.done:
 				if w.err != nil && ctx.Err() == nil &&
@@ -227,8 +214,8 @@ func (r *Registry) get(ctx context.Context, key string, fn func(context.Context)
 			}
 		}
 		c = &call{done: make(chan struct{})}
-		s.inflight[key] = c
-		s.mu.Unlock()
+		f.inflight[key] = c
+		f.mu.Unlock()
 	}
 
 	// The cleanup must run even if fn panics: leaving the inflight entry
@@ -237,22 +224,18 @@ func (r *Registry) get(ctx context.Context, key string, fn func(context.Context)
 	// and later lookups retry.
 	completed := false
 	defer func() {
-		s.mu.Lock()
-		delete(s.inflight, key)
 		if !completed {
 			c.err = fmt.Errorf("registry: computation for %q panicked", key)
 		}
 		if c.err == nil {
-			el := s.order.PushFront(&entry{key: key, val: c.val})
-			s.entries[key] = el
-			for s.order.Len() > s.cap {
-				oldest := s.order.Back()
-				s.order.Remove(oldest)
-				delete(s.entries, oldest.Value.(*entry).key)
-				r.evictions.Add(1)
-			}
+			// Publish before clearing the in-flight slot: anyone who misses
+			// the store after this point either sees the entry on their
+			// locked re-check or finds this call still registered.
+			r.store.Put(kind, key, c.val)
 		}
-		s.mu.Unlock()
+		f.mu.Lock()
+		delete(f.inflight, key)
+		f.mu.Unlock()
 		close(c.done)
 	}()
 
@@ -263,12 +246,13 @@ func (r *Registry) get(ctx context.Context, key string, fn func(context.Context)
 
 // topoKey serializes the platform, seed and every inference option that can
 // change the result, field by field, so distinct configurations never
-// collide and the key stays stable across runs. Options are normalized
-// first, so the zero value and an explicit DefaultOptions() share one
-// entry. Parallelism is deliberately excluded: by construction it does not
-// affect the inferred topology. Keys are built with strconv appends — this
-// runs on every lookup of the serving hot path, where fmt.Sprintf's
-// reflection would be the dominant allocation.
+// collide and the key stays stable across runs — the same key the spool
+// tier persists in description files, so a restarted daemon rebuilds the
+// exact mapping. Options are normalized first, so the zero value and an
+// explicit DefaultOptions() share one entry. Parallelism is deliberately
+// excluded: by construction it does not affect the inferred topology. Keys
+// are built with strconv appends — this runs on every lookup of the serving
+// hot path, where fmt.Sprintf's reflection would be the dominant allocation.
 func topoKey(platform string, seed uint64, opt mctopalg.Options) string {
 	o := opt.Normalized()
 	b := make([]byte, 0, 96)
@@ -299,6 +283,13 @@ func topoKey(platform string, seed uint64, opt mctopalg.Options) string {
 	return string(b)
 }
 
+// TopoKey is the registry's cache key for a topology — exported for tools
+// (mctop import/export) that install or extract description files in a
+// spool under the exact key a serving registry will look up.
+func TopoKey(platform string, seed uint64, opt mctopalg.Options) string {
+	return topoKey(platform, seed, opt)
+}
+
 // Topology returns the memoized topology for (platform, seed, opt),
 // inferring it on first use.
 func (r *Registry) Topology(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, error) {
@@ -315,16 +306,16 @@ func (r *Registry) TopologyContext(ctx context.Context, platform string, seed ui
 }
 
 // LookupTopology is Topology plus a per-call cache indicator: hit is true
-// only when this call was answered from cache without running or waiting on
-// an inference (servers report it per request; the global Stats counters
-// cannot distinguish concurrent callers).
+// only when this call was answered from the store without running or
+// waiting on an inference (servers report it per request; the global Stats
+// counters cannot distinguish concurrent callers).
 func (r *Registry) LookupTopology(platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, bool, error) {
 	return r.LookupTopologyContext(context.Background(), platform, seed, opt)
 }
 
 // LookupTopologyContext is LookupTopology with cancellation.
 func (r *Registry) LookupTopologyContext(ctx context.Context, platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, bool, error) {
-	v, hit, err := r.get(ctx, topoKey(platform, seed, opt), func(ctx context.Context) (any, error) {
+	v, hit, err := r.get(ctx, KindTopology, topoKey(platform, seed, opt), func(ctx context.Context) (any, error) {
 		// Only inferences take a compute slot. Placement computes stay
 		// ungated: they are cheap, and a placement miss computes its
 		// topology through this very path — gating both would let two
@@ -398,7 +389,7 @@ func (r *Registry) PlaceWithContext(ctx context.Context, platform string, seed u
 		return nil, fmt.Errorf("%w: policy has empty name", place.ErrInvalid)
 	}
 	key := placeKey(topoKey(platform, seed, opt), pol, nThreads)
-	v, _, err := r.get(ctx, key, func(ctx context.Context) (any, error) {
+	v, _, err := r.get(ctx, KindPlacement, key, func(ctx context.Context) (any, error) {
 		t, err := r.TopologyContext(ctx, platform, seed, opt)
 		if err != nil {
 			return nil, err
@@ -456,7 +447,7 @@ func (r *Registry) PlaceBatchContext(ctx context.Context, platform string, seed 
 			continue
 		}
 		nThreads := req.NThreads
-		v, _, err := r.get(ctx, placeKey(tk, pol, nThreads), func(context.Context) (any, error) {
+		v, _, err := r.get(ctx, KindPlacement, placeKey(tk, pol, nThreads), func(context.Context) (any, error) {
 			r.placements.Add(1)
 			return place.NewFrom(t, pol, place.Options{NThreads: nThreads})
 		})
@@ -471,34 +462,54 @@ func (r *Registry) PlaceBatchContext(ctx context.Context, platform string, seed 
 
 // Stats snapshots the registry's counters.
 func (r *Registry) Stats() Stats {
+	tiers := r.store.Stats()
+	var evictions int64
+	for _, t := range tiers {
+		evictions += t.Evictions
+	}
 	return Stats{
 		Hits:       r.hits.Load(),
 		Misses:     r.misses.Load(),
 		Inferences: r.inferences.Load(),
 		Placements: r.placements.Load(),
-		Evictions:  r.evictions.Load(),
-		Entries:    r.Len(),
+		Evictions:  evictions,
+		Entries:    r.store.Len(),
+		Tiers:      tiers,
 	}
 }
 
-// Len returns the number of cached entries across all shards.
+// Len returns the number of entries resident in the store's fastest tier.
 func (r *Registry) Len() int {
-	n := 0
-	for _, s := range r.shards {
-		s.mu.Lock()
-		n += s.order.Len()
-		s.mu.Unlock()
-	}
-	return n
+	return r.store.Len()
 }
 
-// Purge drops every cached entry (in-flight computations are unaffected and
-// will re-populate the cache when they finish).
+// Store returns the registry's cache store (to reach tier-specific APIs —
+// a spool tier's directory, say).
+func (r *Registry) Store() Store { return r.store }
+
+// Purge drops every cached entry from every tier — a persistent tier's
+// files included (in-flight computations are unaffected and will
+// re-populate the cache when they finish).
 func (r *Registry) Purge() {
-	for _, s := range r.shards {
-		s.mu.Lock()
-		s.entries = make(map[string]*list.Element)
-		s.order = list.New()
-		s.mu.Unlock()
+	r.store.Purge()
+}
+
+// Flush blocks until every tier with buffered writes has persisted them —
+// what a daemon calls on SIGTERM so a restart warm-starts from a complete
+// spool. A registry over the default in-memory store flushes trivially.
+func (r *Registry) Flush() error {
+	if f, ok := r.store.(Flusher); ok {
+		return f.Flush()
 	}
+	return nil
+}
+
+// Close flushes and releases tier resources (background writers). The
+// registry itself remains usable for in-memory lookups, but persistent
+// tiers stop accepting writes.
+func (r *Registry) Close() error {
+	if c, ok := r.store.(Closer); ok {
+		return c.Close()
+	}
+	return nil
 }

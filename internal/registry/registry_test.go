@@ -398,16 +398,24 @@ func TestCachedLookupSpeedup(t *testing.T) {
 }
 
 func TestShardingSpreadsKeys(t *testing.T) {
-	r := New(Options{MaxEntries: 1024, Shards: 8,
-		Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
-			return fakeTopo(), nil
-		}})
-	used := map[*shard]bool{}
+	l := NewLRU(1024, 8)
+	used := map[*lruShard]bool{}
 	for i := 0; i < 64; i++ {
-		used[r.shardOf(fmt.Sprintf("topo|Ivy|%d|", i))] = true
+		used[l.shardOf(fmt.Sprintf("topo|Ivy|%d|", i))] = true
 	}
 	if len(used) < 2 {
 		t.Fatalf("64 keys landed on %d shard(s); hashing is broken", len(used))
+	}
+	r := New(Options{Shards: 8,
+		Infer: func(string, uint64, mctopalg.Options) (*topo.Topology, error) {
+			return fakeTopo(), nil
+		}})
+	flights := map[*flightShard]bool{}
+	for i := 0; i < 64; i++ {
+		flights[r.flightOf(fmt.Sprintf("topo|Ivy|%d|", i))] = true
+	}
+	if len(flights) < 2 {
+		t.Fatalf("64 keys landed on %d flight stripe(s); hashing is broken", len(flights))
 	}
 }
 

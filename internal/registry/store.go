@@ -1,0 +1,176 @@
+package registry
+
+// The tiered topology store. The registry's cache sits behind the Store
+// interface so deployments can compose storage tiers: the default is the
+// in-memory sharded LRU (lru.go); a daemon that must survive restarts
+// chains it over internal/spool's description-file tier (NewTiered), the
+// paper's "created once, then used to load the topology" artifact turned
+// into a cache level. The registry itself only sees Get/Put — singleflight,
+// counters and the compute semaphore stay above the store.
+
+// Kind tags what a cache entry holds, so persistent tiers can pick a
+// serialization per entry kind (topologies become .mctop description
+// files, placements a compact sidecar) without inspecting values.
+type Kind int
+
+const (
+	// KindTopology entries hold a *topo.Topology.
+	KindTopology Kind = iota
+	// KindPlacement entries hold a *place.Placement.
+	KindPlacement
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTopology:
+		return "topology"
+	case KindPlacement:
+		return "placement"
+	}
+	return "unknown"
+}
+
+// Store is one cache tier of the registry. Implementations must be safe
+// for concurrent use; Get and Put run on the serving hot path. A Store
+// never computes — a miss is just (nil, false) — and never fails: a
+// persistent tier that cannot read or write an entry treats it as a miss
+// (logging the reason) so a broken disk degrades to re-inference, never to
+// serving errors.
+type Store interface {
+	// Get returns the cached value for key, if present.
+	Get(kind Kind, key string) (any, bool)
+	// Put inserts or replaces the value for key.
+	Put(kind Kind, key string, val any)
+	// Len returns the number of entries resident in this store.
+	Len() int
+	// Purge drops every entry (for persistent tiers: from disk too).
+	Purge()
+	// Stats snapshots the store's counters, one element per tier.
+	Stats() []StoreStats
+}
+
+// StoreStats is one tier's counter snapshot.
+type StoreStats struct {
+	// Tier names the store implementation ("lru", "spool").
+	Tier string `json:"tier"`
+	// Hits / Misses count Get outcomes on this tier.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts counts write-throughs (including tier promotions).
+	Puts int64 `json:"puts"`
+	// Evictions counts entries dropped by a capacity bound.
+	Evictions int64 `json:"evictions"`
+	// Errors counts entries a persistent tier failed to read or write
+	// (each one logged and degraded to a miss or dropped write).
+	Errors int64 `json:"errors"`
+	// Entries is the current resident entry count; Topologies and
+	// Placements break it down per entry kind.
+	Entries    int `json:"entries"`
+	Topologies int `json:"topologies"`
+	Placements int `json:"placements"`
+}
+
+// Flusher is the optional Store extension for tiers with buffered writes:
+// Flush blocks until every accepted Put is durable. Registry.Flush and the
+// daemon's graceful shutdown call it through the chain.
+type Flusher interface {
+	Flush() error
+}
+
+// Closer is the optional Store extension for tiers holding resources
+// (background writers, directory handles). Close implies Flush.
+type Closer interface {
+	Close() error
+}
+
+// Tiered chains stores into one read-through/write-through Store: Get
+// consults tiers in order and promotes a lower-tier hit into every tier
+// above it (a cold LRU miss that hits the disk spool decodes once and is
+// then served from memory); Put writes through to every tier.
+type Tiered struct {
+	tiers []Store
+}
+
+// NewTiered composes tiers, fastest first. Nil tiers are skipped; at least
+// one non-nil tier is required.
+func NewTiered(tiers ...Store) *Tiered {
+	t := &Tiered{}
+	for _, s := range tiers {
+		if s != nil {
+			t.tiers = append(t.tiers, s)
+		}
+	}
+	if len(t.tiers) == 0 {
+		panic("registry: NewTiered needs at least one tier")
+	}
+	return t
+}
+
+// Get implements Store: read-through with promotion.
+func (t *Tiered) Get(kind Kind, key string) (any, bool) {
+	for i, s := range t.tiers {
+		if v, ok := s.Get(kind, key); ok {
+			for j := 0; j < i; j++ {
+				t.tiers[j].Put(kind, key, v)
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Put implements Store: write-through to every tier.
+func (t *Tiered) Put(kind Kind, key string, val any) {
+	for _, s := range t.tiers {
+		s.Put(kind, key, val)
+	}
+}
+
+// Len implements Store: the entry count of the fastest tier (what is
+// servable without tier promotion); per-tier counts are in Stats.
+func (t *Tiered) Len() int { return t.tiers[0].Len() }
+
+// Purge implements Store: purges every tier — including persistent ones,
+// whose files are removed. Callers that only want to drop the memory tier
+// purge it directly.
+func (t *Tiered) Purge() {
+	for _, s := range t.tiers {
+		s.Purge()
+	}
+}
+
+// Stats implements Store: the concatenated per-tier snapshots, fastest
+// tier first.
+func (t *Tiered) Stats() []StoreStats {
+	out := make([]StoreStats, 0, len(t.tiers))
+	for _, s := range t.tiers {
+		out = append(out, s.Stats()...)
+	}
+	return out
+}
+
+// Flush implements Flusher across the chain.
+func (t *Tiered) Flush() error {
+	var first error
+	for _, s := range t.tiers {
+		if f, ok := s.(Flusher); ok {
+			if err := f.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Close implements Closer across the chain.
+func (t *Tiered) Close() error {
+	var first error
+	for _, s := range t.tiers {
+		if c, ok := s.(Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,647 @@
+// Package spool is the registry's persistent cache tier: a directory of
+// MCTOP description files. The paper's deployment model is that a topology
+// is "created once, then used to load the topology" from disk thereafter
+// (Section 2) — the spool turns that artifact into a cache level, so a
+// restarted daemon warm-starts from the files a previous process inferred
+// instead of re-running the O(N²) measurement phase.
+//
+// On-disk layout (one file per entry, flat in the spool directory):
+//
+//   - topologies: <sanitized-key>-<fnv64>.mctop — a `#key <registry key>`
+//     header line followed by a standard description file (topo.Encode).
+//     The header is a comment, so any .mctop reader decodes the file.
+//   - placements: <sanitized-key>-<fnv64>.place — a compact sidecar
+//     (format below) holding the policy name and assignment order plus the
+//     key of the topology it was computed on; loading one decodes that
+//     topology file and rebuilds the placement via place.Reconstruct,
+//     without re-running the policy.
+//
+// Writes are write-behind: Put enqueues to a background writer (falling
+// back to a synchronous write when the queue is full, so nothing is ever
+// dropped), every file lands via write-temp-then-rename so a crash can
+// never leave a torn file under a spool name, and Flush/Close drain the
+// queue — what mctopd calls on SIGTERM. Reads that hit an undecodable or
+// foreign file log, count an error, and report a miss: a broken disk
+// degrades to re-inference, never to a serving failure.
+package spool
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/place"
+	"repro/internal/registry"
+	"repro/internal/topo"
+)
+
+const (
+	topoExt      = ".mctop"
+	placeExt     = ".place"
+	keyHeader    = "#key "
+	placeMagic   = "mctop-place 1"
+	writeBacklog = 64
+)
+
+// Spool is a registry.Store persisting entries as description files.
+type Spool struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	entries map[string]registry.Kind // keys with a durable file on disk
+
+	// sendMu serializes Put/Flush senders against Close closing the
+	// channel; closed flips first so late senders degrade to no-ops.
+	sendMu  sync.RWMutex
+	closed  bool
+	pending chan writeOp
+	done    chan struct{} // writer goroutine exited
+
+	// lastMu/lastKey/lastTopo memoize the most recently decoded topology:
+	// a warm-start burst loads many .place sidecars referencing one
+	// topology, and without the memo each would re-decode the same
+	// description file.
+	lastMu   sync.Mutex
+	lastKey  string
+	lastTopo *topo.Topology
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+	errors atomic.Int64
+}
+
+// writeOp is one queued write, or a flush barrier (flush != nil).
+type writeOp struct {
+	kind  registry.Kind
+	key   string
+	val   any
+	flush chan struct{}
+}
+
+// Option configures a Spool.
+type Option func(*Spool)
+
+// WithLogf redirects the spool's skip-and-log messages (default:
+// log.Printf with a "spool: " prefix).
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(s *Spool) { s.logf = logf }
+}
+
+// New opens (creating if needed) a spool directory and scans it: files
+// with a readable key header become servable entries; undecodable,
+// foreign, or leftover temporary files are logged and skipped — a torn or
+// corrupt spool must never fail a daemon's startup.
+func New(dir string, opts ...Option) (*Spool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	s := &Spool{
+		dir:     dir,
+		logf:    func(format string, args ...any) { log.Printf("spool: "+format, args...) },
+		entries: make(map[string]registry.Kind),
+		pending: make(chan writeOp, writeBacklog),
+		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	go s.writer()
+	return s, nil
+}
+
+// Dir returns the spool directory.
+func (s *Spool) Dir() string { return s.dir }
+
+// scan indexes the directory by each file's key header. Only the header is
+// read here — full decoding (and its skip-and-log handling) happens on
+// Get, so startup stays O(files), not O(bytes).
+func (s *Spool) scan() error {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		var kind registry.Kind
+		switch filepath.Ext(name) {
+		case topoExt:
+			kind = registry.KindTopology
+		case placeExt:
+			kind = registry.KindPlacement
+		default:
+			// Leftover temp files from a crashed writer are dead weight:
+			// renames are atomic, so nothing references them.
+			if strings.HasSuffix(name, ".tmp") {
+				if err := os.Remove(filepath.Join(s.dir, name)); err == nil {
+					s.logf("removed stale temp file %s", name)
+				}
+			}
+			continue
+		}
+		key, err := readKeyHeader(filepath.Join(s.dir, name))
+		if err != nil {
+			s.logf("skipping %s: %v", name, err)
+			s.errors.Add(1)
+			continue
+		}
+		if fileName(key, extOf(kind)) != name {
+			s.logf("skipping %s: key header does not match file name", name)
+			s.errors.Add(1)
+			continue
+		}
+		s.entries[key] = kind
+	}
+	return nil
+}
+
+func extOf(kind registry.Kind) string {
+	if kind == registry.KindPlacement {
+		return placeExt
+	}
+	return topoExt
+}
+
+// fileName maps a registry key to its spool file: a sanitized, truncated
+// prefix for humans listing the directory, plus the full FNV-64a of the
+// key so sanitization can never make two keys collide.
+func fileName(key, ext string) string {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	var b strings.Builder
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 80 {
+			break
+		}
+	}
+	return fmt.Sprintf("%s-%016x%s", b.String(), h, ext)
+}
+
+// readKeyHeader returns the `#key ` header of a spool file.
+func readKeyHeader(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, keyHeader) {
+			key := strings.TrimSpace(strings.TrimPrefix(line, keyHeader))
+			if key == "" {
+				return "", fmt.Errorf("empty key header")
+			}
+			return key, nil
+		}
+		// Headers lead the file; the first non-comment line ends them.
+		if !strings.HasPrefix(line, "#") {
+			return "", fmt.Errorf("no key header")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("no key header")
+}
+
+// Get implements registry.Store: decode the entry's file, degrading every
+// failure to a logged miss.
+func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
+	s.mu.Lock()
+	k, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok || k != kind {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var (
+		v   any
+		err error
+	)
+	switch kind {
+	case registry.KindTopology:
+		v, err = s.loadTopology(key)
+	case registry.KindPlacement:
+		v, err = s.loadPlacement(key)
+	default:
+		err = fmt.Errorf("unknown entry kind %v", kind)
+	}
+	if err != nil {
+		s.logf("skipping %s: %v", fileName(key, extOf(kind)), err)
+		s.errors.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return v, true
+}
+
+func (s *Spool) loadTopology(key string) (*topo.Topology, error) {
+	s.lastMu.Lock()
+	if s.lastKey == key && s.lastTopo != nil {
+		t := s.lastTopo
+		s.lastMu.Unlock()
+		return t, nil
+	}
+	s.lastMu.Unlock()
+	path := filepath.Join(s.dir, fileName(key, topoExt))
+	gotKey, t, err := DecodeTopologyFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if gotKey != "" && gotKey != key {
+		return nil, fmt.Errorf("key header names %q", gotKey)
+	}
+	s.lastMu.Lock()
+	s.lastKey, s.lastTopo = key, t
+	s.lastMu.Unlock()
+	return t, nil
+}
+
+func (s *Spool) loadPlacement(key string) (*place.Placement, error) {
+	path := filepath.Join(s.dir, fileName(key, placeExt))
+	side, err := decodePlacementFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if side.key != "" && side.key != key {
+		return nil, fmt.Errorf("key header names %q", side.key)
+	}
+	t, err := s.loadTopology(side.topoKey)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", side.topoKey, err)
+	}
+	return place.Reconstruct(t, side.policy, side.ctxs)
+}
+
+// Put implements registry.Store: enqueue a write-behind, falling back to a
+// synchronous write when the queue is full so no accepted entry is ever
+// dropped. Puts after Close are dropped (and logged): the spool is no
+// longer durable once closed.
+func (s *Spool) Put(kind registry.Kind, key string, val any) {
+	s.sendMu.RLock()
+	if s.closed {
+		s.sendMu.RUnlock()
+		s.logf("dropping write of %q: spool is closed", key)
+		s.errors.Add(1)
+		return
+	}
+	select {
+	case s.pending <- writeOp{kind: kind, key: key, val: val}:
+		s.sendMu.RUnlock()
+	default:
+		s.sendMu.RUnlock()
+		s.write(writeOp{kind: kind, key: key, val: val})
+	}
+}
+
+// writer is the write-behind goroutine: it drains the queue, turning each
+// op into an atomic file write, and acknowledges flush barriers in FIFO
+// order (every write accepted before the Flush is durable when it fires).
+func (s *Spool) writer() {
+	defer close(s.done)
+	for op := range s.pending {
+		if op.flush != nil {
+			close(op.flush)
+			continue
+		}
+		s.write(op)
+	}
+}
+
+// write persists one entry: encode to a temp file in the spool directory,
+// then rename over the final name — the atomicity that guarantees a crash
+// can never leave a torn file where a reader looks.
+func (s *Spool) write(op writeOp) {
+	var encode func(w io.Writer) error
+	switch v := op.val.(type) {
+	case *topo.Topology:
+		if op.kind != registry.KindTopology {
+			s.logf("dropping write of %q: topology under kind %v", op.key, op.kind)
+			s.errors.Add(1)
+			return
+		}
+		spec := v.Spec()
+		encode = func(w io.Writer) error {
+			if _, err := fmt.Fprintf(w, "%s%s\n", keyHeader, op.key); err != nil {
+				return err
+			}
+			return topo.Encode(w, &spec)
+		}
+	case *place.Placement:
+		if op.kind != registry.KindPlacement {
+			s.logf("dropping write of %q: placement under kind %v", op.key, op.kind)
+			s.errors.Add(1)
+			return
+		}
+		topoKey, ok := topoKeyOfPlaceKey(op.key)
+		if !ok {
+			s.logf("dropping write of %q: not a placement key", op.key)
+			s.errors.Add(1)
+			return
+		}
+		encode = func(w io.Writer) error {
+			return encodePlacement(w, op.key, topoKey, v)
+		}
+	default:
+		s.logf("dropping write of %q: unsupported value %T", op.key, op.val)
+		s.errors.Add(1)
+		return
+	}
+	path := filepath.Join(s.dir, fileName(op.key, extOf(op.kind)))
+	if err := topo.WriteFileAtomic(path, encode); err != nil {
+		s.logf("writing %q: %v", op.key, err)
+		s.errors.Add(1)
+		return
+	}
+	s.puts.Add(1)
+	s.mu.Lock()
+	s.entries[op.key] = op.kind
+	s.mu.Unlock()
+}
+
+// Len implements registry.Store.
+func (s *Spool) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Purge implements registry.Store: flush pending writes, then remove every
+// spool file. (Registry.Purge on a tiered store purges the disk tier too —
+// callers that only want to drop memory purge the LRU tier directly.)
+func (s *Spool) Purge() {
+	s.Flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, kind := range s.entries {
+		if err := os.Remove(filepath.Join(s.dir, fileName(key, extOf(kind)))); err != nil {
+			s.logf("purging %q: %v", key, err)
+			s.errors.Add(1)
+		}
+	}
+	s.entries = make(map[string]registry.Kind)
+	s.lastMu.Lock()
+	s.lastKey, s.lastTopo = "", nil
+	s.lastMu.Unlock()
+}
+
+// Stats implements registry.Store.
+func (s *Spool) Stats() []registry.StoreStats {
+	st := registry.StoreStats{
+		Tier:   "spool",
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Puts:   s.puts.Load(),
+		Errors: s.errors.Load(),
+	}
+	s.mu.Lock()
+	for _, kind := range s.entries {
+		switch kind {
+		case registry.KindTopology:
+			st.Topologies++
+		case registry.KindPlacement:
+			st.Placements++
+		}
+		st.Entries++
+	}
+	s.mu.Unlock()
+	return []registry.StoreStats{st}
+}
+
+// Flush implements registry.Flusher: block until every Put accepted so far
+// is durable on disk.
+func (s *Spool) Flush() error {
+	s.sendMu.RLock()
+	if s.closed {
+		s.sendMu.RUnlock()
+		<-s.done // writer drains the queue before exiting
+		return nil
+	}
+	barrier := make(chan struct{})
+	s.pending <- writeOp{flush: barrier}
+	s.sendMu.RUnlock()
+	<-barrier
+	return nil
+}
+
+// Close implements registry.Closer: flush and stop the writer. Gets keep
+// working; later Puts are dropped with a log line.
+func (s *Spool) Close() error {
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	close(s.pending)
+	s.sendMu.Unlock()
+	<-s.done
+	return nil
+}
+
+// DecodeTopologyFile reads a description file — spooled or bare — and
+// returns its registry key (empty when the file has no `#key` header) and
+// the topology. The interchange entry point behind `mctop import`.
+func DecodeTopologyFile(path string) (key string, t *topo.Topology, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	// Peel leading `#key` headers by hand; topo.Decode skips all comments,
+	// but the key must be surfaced, not skipped.
+	for {
+		peek, err := br.Peek(1)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if peek[0] != '#' {
+			break
+		}
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return "", nil, fmt.Errorf("%s: %w", path, err)
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, keyHeader) {
+			key = strings.TrimSpace(strings.TrimPrefix(line, keyHeader))
+		}
+		if err == io.EOF {
+			return "", nil, fmt.Errorf("%s: only comments", path)
+		}
+	}
+	spec, err := topo.Decode(br)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
+	}
+	t, err = topo.FromSpec(*spec)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return key, t, nil
+}
+
+// topoKeyOfPlaceKey extracts the embedded topology key from a registry
+// placement key: "place|<topo key>|<policy>|<threads>" — trim the prefix
+// and the last two fields. A custom policy whose name contains '|' would
+// mis-split here; the extracted key then misses in the spool and that
+// placement degrades to a recompute on warm start — never a wrong result.
+func topoKeyOfPlaceKey(placeKey string) (string, bool) {
+	rest, ok := strings.CutPrefix(placeKey, "place|")
+	if !ok {
+		return "", false
+	}
+	i := strings.LastIndexByte(rest, '|') // before <threads>
+	if i < 0 {
+		return "", false
+	}
+	j := strings.LastIndexByte(rest[:i], '|') // before <policy>
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// placementSidecar is the parsed .place file.
+type placementSidecar struct {
+	key     string // registry placement key (from the #key header)
+	topoKey string // registry key of the topology it was computed on
+	policy  string
+	ctxs    []int
+}
+
+// encodePlacement writes the sidecar format:
+//
+//	#key <placement key>
+//	mctop-place 1
+//	topokey <topology key>
+//	policy <name>
+//	nthreads <n>
+//	ctxs <id...>           (omitted when the placement has no slots)
+//	end
+func encodePlacement(w io.Writer, key, topoKey string, p *place.Placement) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s%s\n", keyHeader, key)
+	fmt.Fprintln(bw, placeMagic)
+	fmt.Fprintf(bw, "topokey %s\n", topoKey)
+	fmt.Fprintf(bw, "policy %s\n", p.PolicyName())
+	ctxs := p.Contexts()
+	fmt.Fprintf(bw, "nthreads %d\n", len(ctxs))
+	if len(ctxs) > 0 {
+		bw.WriteString("ctxs")
+		for _, c := range ctxs {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// decodePlacementFile parses a .place sidecar.
+func decodePlacementFile(path string) (*placementSidecar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	side := &placementSidecar{}
+	sawMagic, sawEnd := false, false
+	nThreads := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, keyHeader) {
+				side.key = strings.TrimSpace(strings.TrimPrefix(line, keyHeader))
+			}
+			continue
+		}
+		if !sawMagic {
+			if line != placeMagic {
+				return nil, fmt.Errorf("%s: bad magic %q", path, line)
+			}
+			sawMagic = true
+			continue
+		}
+		if line == "end" {
+			sawEnd = true
+			break
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		switch directive {
+		case "topokey":
+			side.topoKey = strings.TrimSpace(rest)
+		case "policy":
+			side.policy = strings.TrimSpace(rest)
+		case "nthreads":
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%s: bad nthreads %q", path, rest)
+			}
+			nThreads = n
+		case "ctxs":
+			for _, fld := range strings.Fields(rest) {
+				v, err := strconv.Atoi(fld)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ctx %q", path, fld)
+				}
+				side.ctxs = append(side.ctxs, v)
+			}
+		default:
+			return nil, fmt.Errorf("%s: unknown directive %q", path, directive)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case !sawMagic:
+		return nil, fmt.Errorf("%s: empty sidecar", path)
+	case !sawEnd:
+		return nil, fmt.Errorf("%s: missing end marker", path)
+	case side.topoKey == "":
+		return nil, fmt.Errorf("%s: missing topokey", path)
+	case side.policy == "":
+		return nil, fmt.Errorf("%s: missing policy", path)
+	case nThreads != len(side.ctxs):
+		return nil, fmt.Errorf("%s: nthreads %d but %d ctxs", path, nThreads, len(side.ctxs))
+	}
+	return side, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -320,18 +321,39 @@ func parseFloatRow(args []string) ([]float64, error) {
 	return row, nil
 }
 
-// SaveFile writes a topology's description file to disk.
-func SaveFile(path string, t *Topology) error {
-	f, err := os.Create(path)
+// WriteFileAtomic writes a file via a temp file in the target directory
+// plus rename, so a crash mid-write can never leave a torn file where a
+// reader looks. Shared by SaveFile and the registry's spool tier — any
+// future durability fix (fsync before rename, say) lands in one place.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
 	if err != nil {
 		return err
 	}
-	spec := t.Spec()
-	if err := Encode(f, &spec); err != nil {
+	tmp := f.Name()
+	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// SaveFile writes a topology's description file to disk atomically (a
+// crashed writer can never leave a torn description file behind).
+func SaveFile(path string, t *Topology) error {
+	spec := t.Spec()
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		return Encode(w, &spec)
+	})
 }
 
 // LoadFile reads a description file and builds the topology.

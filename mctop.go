@@ -25,7 +25,10 @@
 //     Figure 7 report.
 //   - Registry — the concurrency-safe, LRU-bounded topology service layer
 //     with context-aware lookups (TopologyContext, PlaceContext,
-//     PlaceBatchContext), the backend of cmd/mctopd.
+//     PlaceBatchContext), the backend of cmd/mctopd. Its cache is a
+//     tiered Store: WithSpoolDir chains the in-memory LRU over a
+//     description-file spool, so a restarted process warm-starts from
+//     disk with zero re-inferences.
 //   - Structured errors — ErrUnknownPlatform, ErrUnknownPolicy,
 //     ErrInvalidRequest, ErrTooLarge, ErrSaturated — that errors.Is
 //     matches through every layer; cmd/mctopd maps them to HTTP statuses
@@ -69,7 +72,9 @@
 //   - internal/mctoperr  — the sentinel errors of the client API
 //   - internal/registry  — the topology service layer (the paper's
 //     "created once, then used to load the topology" deployment model,
-//     Section 2)
+//     Section 2) over a pluggable tiered store
+//   - internal/spool     — the description-file persistence tier behind
+//     WithSpoolDir and mctopd's -spool-dir
 //   - internal/locks, internal/contend, internal/msort, internal/reduce,
 //     internal/mapreduce, internal/graph, internal/omp,
 //     internal/worksteal — the portable-optimization case studies
@@ -84,6 +89,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/spool"
 	"repro/internal/topo"
 )
 
@@ -207,13 +213,88 @@ type PlaceRequest = registry.PlaceRequest
 // per-request error that produced none.
 type BatchResult = registry.BatchResult
 
+// Store is one cache tier of a Registry (see internal/registry): the
+// in-memory LRU every registry has, the description-file spool
+// (OpenSpool), or any custom tier. Tiers compose via WithSpoolDir /
+// WithStore into a read-through/write-through chain.
+type Store = registry.Store
+
+// StoreStats is one store tier's counter snapshot, exposed per tier in
+// RegistryStats.Tiers.
+type StoreStats = registry.StoreStats
+
+// RegistryOption configures NewRegistry beyond the entry bound.
+type RegistryOption func(*registryConfig)
+
+type registryConfig struct {
+	store    Store
+	spoolDir string
+}
+
+// WithStore installs a custom cache store — typically a NewTieredStore
+// chain ending in a persistent tier. The maxEntries argument of
+// NewRegistry is ignored when a store is supplied (bound the tiers you
+// pass in instead), and WithStore takes precedence over WithSpoolDir.
+func WithStore(s Store) RegistryOption {
+	return func(c *registryConfig) { c.store = s }
+}
+
+// WithSpoolDir chains the registry's LRU (bounded by NewRegistry's
+// maxEntries) over a description-file spool in dir (created if needed):
+// every inferred topology and computed placement is persisted as it is
+// cached, and a future registry over the same dir — a restarted daemon —
+// serves them from disk with zero re-inferences. The spool is opened
+// inside NewRegistry, which panics if the directory cannot be created or
+// scanned; use OpenSpool plus WithStore to handle that error instead.
+func WithSpoolDir(dir string) RegistryOption {
+	return func(c *registryConfig) { c.spoolDir = dir }
+}
+
+// OpenSpool opens (creating if needed) a description-file spool directory
+// as a Store tier — the error-returning path behind WithSpoolDir. Wire it
+// in with WithStore:
+//
+//	sp, err := mctop.OpenSpool("/var/lib/mctop/spool")
+//	reg := mctop.NewRegistry(0, mctop.WithStore(
+//		mctop.NewTieredStore(mctop.NewLRUStore(256, 0), sp)))
+func OpenSpool(dir string) (Store, error) {
+	return spool.New(dir)
+}
+
+// NewLRUStore creates the in-memory sharded LRU tier (<= 0 arguments pick
+// the defaults: 256 entries, 8 shards).
+func NewLRUStore(maxEntries, shards int) Store {
+	return registry.NewLRU(maxEntries, shards)
+}
+
+// NewTieredStore chains stores, fastest first, into one read-through/
+// write-through Store (see registry.NewTiered).
+func NewTieredStore(tiers ...Store) Store {
+	return registry.NewTiered(tiers...)
+}
+
 // NewRegistry creates a topology registry bounded to maxEntries cached
 // values (topologies and placements each count as one; <= 0 uses the
 // default of 256). Misses run the full simulate → infer → enrich pipeline
-// under the caller's context.
-func NewRegistry(maxEntries int) *Registry {
+// under the caller's context. Options add storage tiers: WithSpoolDir
+// persists the cache as description files so a restart warm-starts from
+// disk; WithStore installs any custom tier chain. Registries with a
+// persistent tier should be Flush()ed (or Close()d) before process exit.
+func NewRegistry(maxEntries int, opts ...RegistryOption) *Registry {
+	var c registryConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.store == nil && c.spoolDir != "" {
+		sp, err := spool.New(c.spoolDir)
+		if err != nil {
+			panic(fmt.Sprintf("mctop: opening spool: %v", err))
+		}
+		c.store = registry.NewTiered(registry.NewLRU(maxEntries, 0), sp)
+	}
 	return registry.New(registry.Options{
 		MaxEntries: maxEntries,
+		Store:      c.store,
 		InferCtx: func(ctx context.Context, platform string, seed uint64, opt Options) (*Topology, error) {
 			t, _, err := inferPlatform(ctx, platform, seed, opt)
 			return t, err
