@@ -17,6 +17,7 @@
 //
 //	mctop export -spool /var/lib/mctop/spool -platform Ivy -seed 42 -o ivy.mctop
 //	mctop import -spool /var/lib/mctop/spool ivy.mctop westmere.mctop
+//	mctop fetch -origin http://origin:8077 -platform Ivy -seed 42 -o ivy.mctop
 //
 // export resolves the topology through a spool-backed registry — a spool
 // hit costs a file decode, a miss runs the inference and leaves the spool
@@ -24,13 +25,20 @@
 // `#key` comment header. import installs description files into a spool:
 // files with a key header keep it; bare files get the key of
 // (-platform|spec name, -seed, -reps), the triple a daemon or library
-// client would look up.
+// client would look up. fetch pulls the same file from a running mctopd's
+// /v1/export endpoint instead of inferring locally — the fleet deployment
+// in CLI form.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 
 	mctop "repro"
 	"repro/internal/machine"
@@ -50,6 +58,9 @@ func main() {
 			return
 		case "import":
 			runImport(os.Args[2:])
+			return
+		case "fetch":
+			runFetch(os.Args[2:])
 			return
 		}
 	}
@@ -102,6 +113,65 @@ func runExport(args []string) {
 			src = "served from cache/spool"
 		}
 		fmt.Printf("exported %s (seed %d, %s) to %s\n", *platform, *seed, src, *out)
+	}
+}
+
+// runFetch pulls one topology's description file from a running mctopd via
+// its /v1/export endpoint — the CLI face of the fleet tier: the same
+// `#key`-headed bytes an edge daemon fetches, written to a file (or
+// installed straight into a local spool) without running any inference
+// locally.
+func runFetch(args []string) {
+	fs := flag.NewFlagSet("mctop fetch", flag.ExitOnError)
+	var (
+		origin   = fs.String("origin", "", "base URL of the mctopd to fetch from (required, e.g. http://origin:8077)")
+		platform = fs.String("platform", "Ivy", "simulated platform: Ivy, Westmere, Haswell, Opteron, SPARC")
+		seed     = fs.Uint64("seed", 42, "simulator noise seed")
+		reps     = fs.Int("reps", 201, "repetitions per context pair")
+		out      = fs.String("o", "-", "output file (- = stdout)")
+		spoolDir = fs.String("spool", "", "also install the fetched topology into this spool directory")
+	)
+	fs.Parse(args)
+	if *origin == "" {
+		fmt.Fprintln(os.Stderr, "usage: mctop fetch -origin URL [-platform P] [-seed N] [-reps R] [-o FILE] [-spool DIR]")
+		os.Exit(2)
+	}
+	opt := mctop.NewOptions(mctop.WithReps(*reps))
+	key := registry.TopoKey(*platform, *seed, opt)
+	resp, err := http.Get(strings.TrimRight(*origin, "/") + "/v1/export?key=" + url.QueryEscape(key))
+	fail(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	fail(err)
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("origin returned %s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	// Decode before writing anything: a torn or corrupt transfer must not
+	// land as a description file.
+	gotKey, top, err := spool.DecodeTopology(bytes.NewReader(body))
+	fail(err)
+	if gotKey != key {
+		fail(fmt.Errorf("origin served key %q, requested %q", gotKey, key))
+	}
+	// Status lines go to stderr: with -o - the description file owns
+	// stdout, and a trailing status line would corrupt the piped output.
+	if *out == "-" {
+		_, err = os.Stdout.Write(body)
+		fail(err)
+	} else {
+		fail(os.WriteFile(*out, body, 0o644))
+		fmt.Fprintf(os.Stderr, "fetched %s (seed %d) from %s to %s\n", *platform, *seed, *origin, *out)
+	}
+	if *spoolDir != "" {
+		sp, err := spool.New(*spoolDir)
+		fail(err)
+		preErrors := sp.Stats()[0].Errors
+		sp.Put(registry.KindTopology, key, top)
+		fail(sp.Close())
+		if sp.Stats()[0].Errors > preErrors {
+			fail(fmt.Errorf("installing into spool %s failed (see log above)", *spoolDir))
+		}
+		fmt.Fprintf(os.Stderr, "installed into spool %s as %q\n", *spoolDir, key)
 	}
 }
 

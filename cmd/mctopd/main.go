@@ -14,7 +14,19 @@
 // and a restarted daemon warm-starts from the spool: it serves every
 // previously seen platform byte-identically with zero re-inferences. On
 // SIGTERM/SIGINT the daemon drains in-flight requests and flushes the
-// spool before exiting.
+// spool before exiting. -spool-max-bytes / -spool-max-age bound the
+// directory, evicting oldest-mtime files first at startup and after
+// flushes.
+//
+// With -upstream, the daemon is a fleet edge: a local cache miss is
+// fetched from the origin mctopd's /v1/export endpoint (the tier chain
+// becomes LRU → spool → remote → infer), so one warm origin feeds a fleet
+// of edges that serve its description files byte-identically with zero
+// local inferences — and any edge keeps serving through its own inference
+// when the origin is down. Every daemon serves /v1/export, so edges can
+// themselves feed further edges:
+//
+//	mctopd -addr :8078 -upstream http://origin:8077 -spool-dir /var/lib/mctop/edge
 //
 // Endpoints:
 //
@@ -24,6 +36,13 @@
 //	GET  /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
 //	GET  /v1/place?platform=Ivy&seed=42&policy=RR_CORE&threads=8
 //	POST /v1/place/batch                   many placements, one topology lookup
+//	POST /v1/place/batch?stream=1          the same, as NDJSON: one line per
+//	                                       placement as each completes,
+//	                                       per-item errors inline
+//	GET  /v1/export?key=<registry key>     the entry's interchange file: a
+//	                                       #key-headed .mctop description
+//	                                       file or a .place sidecar — what
+//	                                       fleet edges fetch
 //	GET  /v1/stats                         registry hit/miss/eviction counters
 //
 // Failures carry the client API's sentinel errors, mapped to HTTP statuses
@@ -71,6 +90,8 @@ import (
 
 	mctop "repro"
 	"repro/internal/mctoperr"
+	"repro/internal/registry"
+	"repro/internal/spool"
 	"repro/internal/topo"
 )
 
@@ -81,20 +102,37 @@ func main() {
 		reps     = flag.Int("reps", 201, "default repetitions per context pair")
 		spoolDir = flag.String("spool-dir", "",
 			"persist inferred topologies and placements as description files here; a restarted daemon warm-starts from them (empty = memory only)")
+		spoolMaxBytes = flag.Int64("spool-max-bytes", 0,
+			"bound the spool directory's total size, evicting oldest-mtime files first at startup and after flushes (<= 0 = unlimited)")
+		spoolMaxAge = flag.Duration("spool-max-age", 0,
+			"evict spool files older than this at startup and after flushes (0 = unlimited)")
+		upstream = flag.String("upstream", "",
+			"origin mctopd base URL (e.g. http://origin:8077): misses are fetched from its /v1/export before inferring locally, making this daemon a fleet edge")
 		inflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
 			"maximum concurrent in-flight requests before shedding with 503 (<= 0 disables)")
 	)
 	flag.Parse()
 
+	// Tier chain, fastest first: LRU → spool (optional) → remote
+	// (optional) — any daemon is an origin to its downstreams and, with
+	// -upstream, an edge to its origin at the same time. With neither
+	// extra tier, NewRegistry builds its plain LRU itself.
 	var regOpts []mctop.RegistryOption
-	if *spoolDir != "" {
-		sp, err := mctop.OpenSpool(*spoolDir)
-		if err != nil {
-			log.Fatalf("mctopd: %v", err)
+	if *spoolDir != "" || *upstream != "" {
+		tiers := []mctop.Store{mctop.NewLRUStore(*cache, 0)}
+		if *spoolDir != "" {
+			sp, err := mctop.OpenSpoolWithLimits(*spoolDir, *spoolMaxBytes, *spoolMaxAge)
+			if err != nil {
+				log.Fatalf("mctopd: %v", err)
+			}
+			tiers = append(tiers, sp)
+			log.Printf("mctopd: spooling to %s (%d entries on disk)", *spoolDir, sp.Len())
 		}
-		regOpts = append(regOpts, mctop.WithStore(
-			mctop.NewTieredStore(mctop.NewLRUStore(*cache, 0), sp)))
-		log.Printf("mctopd: spooling to %s (%d entries on disk)", *spoolDir, sp.Len())
+		if *upstream != "" {
+			tiers = append(tiers, mctop.NewRemoteStore(*upstream))
+			log.Printf("mctopd: edge mode, pulling misses from %s", *upstream)
+		}
+		regOpts = append(regOpts, mctop.WithStore(mctop.NewTieredStore(tiers...)))
 	}
 	reg := mctop.NewRegistry(*cache, regOpts...)
 	s := newServerWith(reg, *reps, *inflight)
@@ -164,6 +202,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/topology", s.handleTopology)
 	mux.HandleFunc("/v1/place", s.handlePlace)
 	mux.HandleFunc("/v1/place/batch", s.handlePlaceBatch)
+	mux.HandleFunc("/v1/export", s.handleExport)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return s.withBackpressure(mux)
 }
@@ -473,6 +512,24 @@ type batchResponse struct {
 	ServedIn string              `json:"served_in"`
 }
 
+// batchItem renders one batch answer — the buffered and streaming
+// endpoints share it so their per-item shape cannot diverge.
+func batchItem(requestedPolicy string, pl *mctop.Placement, err error) batchItemResponse {
+	item := batchItemResponse{Policy: requestedPolicy}
+	if err != nil {
+		item.Error = err.Error()
+		return item
+	}
+	item.Policy = pl.PolicyName()
+	item.NThreads = pl.NThreads()
+	item.Contexts = pl.Contexts()
+	item.NCores = pl.NCores()
+	item.CtxPerSocket = pl.CtxPerSocket()
+	item.MaxLatency = pl.MaxLatency()
+	item.MinBandwidth = pl.MinBandwidth()
+	return item
+}
+
 func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -527,6 +584,10 @@ func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	for i, item := range req.Requests {
 		reqs[i] = mctop.PlaceRequest{Policy: item.Policy, NThreads: item.Threads}
 	}
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamPlaceBatch(w, r, req.Platform, seed, opt, reqs)
+		return
+	}
 	start := time.Now()
 	results, err := s.reg.PlaceBatchContext(r.Context(), req.Platform, seed, opt, reqs)
 	if err != nil {
@@ -539,23 +600,124 @@ func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 		Results:  make([]batchItemResponse, len(results)),
 	}
 	for i, res := range results {
-		item := &resp.Results[i]
-		item.Policy = req.Requests[i].Policy
-		if res.Err != nil {
-			item.Error = res.Err.Error()
-			continue
-		}
-		pl := res.Placement
-		item.Policy = pl.PolicyName()
-		item.NThreads = pl.NThreads()
-		item.Contexts = pl.Contexts()
-		item.NCores = pl.NCores()
-		item.CtxPerSocket = pl.CtxPerSocket()
-		item.MaxLatency = pl.MaxLatency()
-		item.MinBandwidth = pl.MinBandwidth()
+		resp.Results[i] = batchItem(req.Requests[i].Policy, res.Placement, res.Err)
 	}
 	resp.ServedIn = time.Since(start).String()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamPlaceBatch is the NDJSON variant of the batch endpoint
+// (POST /v1/place/batch?stream=1): one batchItemResponse per line, written
+// and flushed as each placement completes, so a client sweeping many
+// configurations consumes results as they land instead of waiting for the
+// slowest. Per-item failures are inline error objects; only a failure to
+// resolve the topology itself — detected before the first line — fails
+// the request with a status.
+func (s *server) streamPlaceBatch(w http.ResponseWriter, r *http.Request, platform string, seed uint64, opt mctop.Options, reqs []mctop.PlaceRequest) {
+	// Resolve the topology first: its failure (unknown platform, cancelled
+	// cold inference) is request-level and must carry a status, which is
+	// only possible before the 200 and the first line are committed.
+	if _, _, err := s.reg.LookupTopologyContext(r.Context(), platform, seed, opt); err != nil {
+		writeErrStatus(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // one compact JSON object per Encode call, newline-terminated
+	for _, req := range reqs {
+		if r.Context().Err() != nil {
+			return // client gone; the stream is already truncated for them
+		}
+		pl, err := s.reg.PlaceContext(r.Context(), platform, seed, opt, req.Policy, req.NThreads)
+		if err := enc.Encode(batchItem(req.Policy, pl, err)); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleExport is the fleet endpoint: GET /v1/export?key=<registry key>
+// serves the entry as its interchange file — a `#key`-headed .mctop
+// description file for topology keys, a .place sidecar for placement keys
+// — exactly the bytes the spool tier persists, which is what the remote
+// store tier on an edge daemon consumes. The key is parsed back into the
+// request it encodes and resolved through the registry, so an origin
+// serves from its cache/spool when warm and infers (singleflight, compute
+// semaphore and all) when cold: one origin can feed a fleet of edges that
+// never infer. Keys that do not round-trip through the registry's own key
+// builder are 404s — they cannot name a cache entry this daemon could
+// ever produce.
+func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeErrStatus(w, fmt.Errorf("%w: missing ?key= (a registry topology or placement key)", mctoperr.ErrInvalidRequest))
+		return
+	}
+	var buf bytes.Buffer
+	switch {
+	case strings.HasPrefix(key, "topo|"):
+		platform, seed, opt, err := registry.ParseTopoKey(key)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		if err := s.validateExport(platform, opt); err != nil {
+			writeErrStatus(w, err)
+			return
+		}
+		top, _, err := s.reg.LookupTopologyContext(r.Context(), platform, seed, opt)
+		if err != nil {
+			writeErrStatus(w, err)
+			return
+		}
+		if err := spool.EncodeTopology(&buf, key, top); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	case strings.HasPrefix(key, "place|"):
+		topoKey, policy, threads, err := registry.ParsePlaceKey(key)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		platform, seed, opt, err := registry.ParseTopoKey(topoKey)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		if err := s.validateExport(platform, opt); err != nil {
+			writeErrStatus(w, err)
+			return
+		}
+		pl, err := s.reg.PlaceContext(r.Context(), platform, seed, opt, policy, threads)
+		if err != nil {
+			writeErrStatus(w, err)
+			return
+		}
+		if err := spool.EncodeSidecar(&buf, key, topoKey, pl); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("%w: key %q is neither a topology nor a placement key", mctoperr.ErrInvalidRequest, key))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// validateExport applies the same request bounds to a parsed key that the
+// query endpoints apply to their parameters: an edge's key must not demand
+// work a direct request could not.
+func (s *server) validateExport(platform string, opt mctop.Options) error {
+	if err := validatePlatform(platform); err != nil {
+		return err
+	}
+	return validateReps(opt.Normalized().Reps)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,116 @@
+package main
+
+// Tests for POST /v1/place/batch?stream=1: NDJSON, one placement per line
+// as each completes, per-item error objects instead of a failed batch.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postStream(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, lines
+}
+
+func TestPlaceBatchStreamNDJSON(t *testing.T) {
+	ts := httptest.NewServer(testServer().routes())
+	defer ts.Close()
+
+	body := `{"platform": "Ivy", "seed": 42, "requests": [
+		{"policy": "RR_CORE", "threads": 8},
+		{"policy": "NO_SUCH_POLICY", "threads": 4},
+		{"policy": "CON_HWC", "threads": 6}
+	]}`
+	resp, lines := postStream(t, ts, "/v1/place/batch?stream=1", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("streamed %d lines, want 3: %v", len(lines), lines)
+	}
+
+	var items []batchItemResponse
+	for i, line := range lines {
+		var item batchItemResponse
+		if err := json.Unmarshal([]byte(line), &item); err != nil {
+			t.Fatalf("line %d is not a JSON object: %q (%v)", i, line, err)
+		}
+		items = append(items, item)
+	}
+	if items[0].Error != "" || len(items[0].Contexts) != 8 {
+		t.Fatalf("item 0 = %+v, want an 8-thread RR_CORE placement", items[0])
+	}
+	// The bad policy fails inline, in order, without killing the stream.
+	if items[1].Error == "" || items[1].Policy != "NO_SUCH_POLICY" || items[1].Contexts != nil {
+		t.Fatalf("item 1 = %+v, want an inline error", items[1])
+	}
+	if items[2].Error != "" || len(items[2].Contexts) != 6 {
+		t.Fatalf("item 2 = %+v, want a 6-thread CON_HWC placement", items[2])
+	}
+
+	// Streamed results agree with the buffered batch endpoint.
+	resp2, err := http.Post(ts.URL+"/v1/place/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var batch batchResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(items) {
+		t.Fatalf("batch returned %d results, stream %d", len(batch.Results), len(items))
+	}
+	for i := range items {
+		a, b := items[i], batch.Results[i]
+		if a.Policy != b.Policy || (a.Error == "") != (b.Error == "") || len(a.Contexts) != len(b.Contexts) {
+			t.Fatalf("item %d: stream %+v vs batch %+v", i, a, b)
+		}
+		for j := range a.Contexts {
+			if a.Contexts[j] != b.Contexts[j] {
+				t.Fatalf("item %d context %d: stream %d vs batch %d", i, j, a.Contexts[j], b.Contexts[j])
+			}
+		}
+	}
+}
+
+func TestPlaceBatchStreamRequestLevelFailures(t *testing.T) {
+	ts := httptest.NewServer(testServer().routes())
+	defer ts.Close()
+
+	// Request-level faults (unknown platform, malformed body) still carry
+	// an HTTP status: they are detected before the first line commits 200.
+	resp, _ := postStream(t, ts, "/v1/place/batch?stream=1",
+		`{"platform": "VAX", "requests": [{"policy": "RR_CORE", "threads": 2}]}`)
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown platform over stream: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postStream(t, ts, "/v1/place/batch?stream=1", `{"platform": "Ivy", "requests": []}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty batch over stream: %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mctopalg"
+	"repro/internal/place"
+)
+
+func TestParseTopoKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		platform string
+		seed     uint64
+		opt      mctopalg.Options
+	}{
+		{"Ivy", 42, mctopalg.Options{}},
+		{"Ivy", 42, mctopalg.DefaultOptions()},
+		{"SPARC", 0, mctopalg.Options{Reps: 201}},
+		{"Westmere", 18446744073709551615, mctopalg.Options{Reps: 51, SkipMemoryProbe: true}},
+		{"Haswell", 7, mctopalg.Options{Reps: 201, ForkedEnrich: true}},
+		{"a|weird|name", 1, mctopalg.Options{Reps: 11}}, // '|' in the platform survives
+	}
+	for _, c := range cases {
+		key := TopoKey(c.platform, c.seed, c.opt)
+		platform, seed, opt, err := ParseTopoKey(key)
+		if err != nil {
+			t.Fatalf("ParseTopoKey(%q): %v", key, err)
+		}
+		if platform != c.platform || seed != c.seed {
+			t.Fatalf("ParseTopoKey(%q) = (%q, %d), want (%q, %d)", key, platform, seed, c.platform, c.seed)
+		}
+		// The recovered options must map to the same cache entry.
+		if got := TopoKey(platform, seed, opt); got != key {
+			t.Fatalf("re-serialized key %q != original %q", got, key)
+		}
+		want := c.opt.Normalized()
+		want.Parallelism = 0 // excluded from keys by design, so not recoverable
+		if opt != want {
+			t.Fatalf("recovered options %+v, want normalized %+v", opt, want)
+		}
+	}
+}
+
+func TestParseTopoKeyRejectsMalformed(t *testing.T) {
+	good := TopoKey("Ivy", 42, mctopalg.Options{Reps: 201})
+	bad := []string{
+		"",
+		"topo|",
+		"place|Ivy|42|r201",
+		"topo|Ivy|42",                      // no option block
+		"topo|Ivy|nan|r201",                // bad seed
+		good + ",x1",                       // trailing junk field
+		good + "junk",                      // trailing junk bytes
+		strings.Replace(good, "r", "R", 1), // wrong tag
+		"topo||42|" + good[strings.LastIndexByte(good, '|')+1:], // empty platform
+	}
+	for _, key := range bad {
+		if _, _, _, err := ParseTopoKey(key); err == nil {
+			t.Fatalf("ParseTopoKey(%q) accepted a malformed key", key)
+		}
+	}
+}
+
+func TestParsePlaceKeyRoundTrip(t *testing.T) {
+	tk := TopoKey("Opteron", 9, mctopalg.Options{Reps: 51})
+	for _, pol := range []place.Orderer{place.RRCore, place.PowerPolicy, place.Limit(place.ConHWC, 4)} {
+		for _, n := range []int{0, 8, 48} {
+			key := placeKey(tk, pol, n)
+			gotTk, gotPol, gotN, err := ParsePlaceKey(key)
+			if err != nil {
+				t.Fatalf("ParsePlaceKey(%q): %v", key, err)
+			}
+			if gotTk != tk || gotPol != pol.Name() || gotN != n {
+				t.Fatalf("ParsePlaceKey(%q) = (%q, %q, %d), want (%q, %q, %d)",
+					key, gotTk, gotPol, gotN, tk, pol.Name(), n)
+			}
+		}
+	}
+}
+
+func TestParsePlaceKeyRejectsMalformed(t *testing.T) {
+	tk := TopoKey("Ivy", 42, mctopalg.Options{Reps: 201})
+	bad := []string{
+		"",
+		tk,                         // a topology key is not a placement key
+		"place|" + tk,              // no policy/threads
+		"place|" + tk + "|RR_CORE", // threads missing
+		"place|" + tk + "|RR_CORE|minus",
+		"place|" + tk + "|RR_CORE|-1",
+		"place|not-a-topo-key|RR_CORE|8",
+		"place|" + tk + "||8",          // empty policy
+		"place|" + tk + "|RR_CORE|007", // non-canonical threads must not alias |7
+		"place|" + tk + "|RR_CORE|+8",
+	}
+	for _, key := range bad {
+		if _, _, _, err := ParsePlaceKey(key); err == nil {
+			t.Fatalf("ParsePlaceKey(%q) accepted a malformed key", key)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package remote is the fleet tier of the registry's tiered store: a
+// registry.Store backed by an upstream mctopd's /v1/export endpoint.
+//
+// The paper's deployment model — a topology is "created once, then used to
+// load the topology" (Section 2) — distributed: one origin daemon runs the
+// O(N²) inference, and every edge daemon chains this tier under its LRU
+// (and spool) so a local miss fetches the origin's description file
+// instead of re-measuring. The wire format is exactly the spool's
+// interchange format (`#key`-headed .mctop description files, .place
+// sidecars), so a fetched entry is byte-identical to what the origin would
+// spool — and is write-through-promoted into the edge's own spool by the
+// tier chain.
+//
+// The Store contract shapes every failure path: a store never fails, it
+// misses. Concretely:
+//
+//   - timeouts, connection errors and 5xx responses degrade to a miss
+//     (the edge re-infers locally) and open an origin-level backoff
+//     window, exponential up to a bound, so a down origin costs one
+//     failed dial per window instead of one per request;
+//   - 4xx responses and undecodable bodies degrade to a miss and a
+//     per-key negative-cache entry, so a key the origin cannot serve is
+//     not re-requested on every lookup;
+//   - concurrent Gets for one key collapse into a single upstream fetch
+//     (singleflight) — a thundering herd on a cold edge costs the origin
+//     one request.
+//
+// Put is a no-op: edges never push to the origin; the origin populates
+// itself through its own registry.
+package remote
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/place"
+	"repro/internal/registry"
+	"repro/internal/spool"
+	"repro/internal/topo"
+)
+
+const (
+	// DefaultTimeout bounds one upstream fetch (the Store interface is
+	// synchronous, so this is also how long a cold Get can block a
+	// serving request). A warm origin answers in milliseconds; an origin
+	// that has to infer first may exceed this, in which case the edge
+	// infers locally too and the origin's entry lands on the next miss.
+	DefaultTimeout = 15 * time.Second
+	// defaultNegTTL is the per-key negative-cache window and the base of
+	// the origin-down backoff.
+	defaultNegTTL = 2 * time.Second
+	// defaultBackoffMax caps the origin-down exponential backoff.
+	defaultBackoffMax = 30 * time.Second
+	// maxBodyBytes bounds one fetched description file (the largest
+	// golden platform is well under 1 MiB).
+	maxBodyBytes = 8 << 20
+	// maxNegEntries bounds the per-key negative cache on edges with a
+	// varied key stream; past it, expired entries are swept on insert.
+	maxNegEntries = 1024
+)
+
+// Remote is a registry.Store that reads through an upstream mctopd.
+type Remote struct {
+	base       string
+	client     *http.Client
+	timeout    time.Duration
+	negTTL     time.Duration
+	backoffMax time.Duration
+	logf       func(format string, args ...any)
+	now        func() time.Time // injectable for backoff tests
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	neg      map[string]time.Time // per-key: no refetch before this instant
+	down     time.Time            // origin-level: no fetch at all before this
+	fails    int                  // consecutive origin-level failures
+
+	// lastMu/lastKey/lastTopo memoize the most recently fetched topology:
+	// a placement sidecar references its topology by key, and a burst of
+	// placement fetches against one topology must not re-fetch (or
+	// re-decode) it per sidecar.
+	lastMu   sync.Mutex
+	lastKey  string
+	lastTopo *topo.Topology
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	errors  atomic.Int64
+	fetches atomic.Int64 // upstream requests actually issued
+}
+
+// call is one in-flight upstream fetch; concurrent Gets for the key wait
+// on done and share the outcome.
+type call struct {
+	done chan struct{}
+	val  any
+	ok   bool
+}
+
+// Option configures a Remote.
+type Option func(*Remote)
+
+// WithTimeout bounds each upstream fetch (default DefaultTimeout).
+func WithTimeout(d time.Duration) Option {
+	return func(r *Remote) { r.timeout = d }
+}
+
+// WithNegTTL sets the per-key negative-cache window and the base of the
+// origin-down backoff (default 2s).
+func WithNegTTL(d time.Duration) Option {
+	return func(r *Remote) { r.negTTL = d }
+}
+
+// WithBackoffMax caps the origin-down exponential backoff (default 30s).
+func WithBackoffMax(d time.Duration) Option {
+	return func(r *Remote) { r.backoffMax = d }
+}
+
+// WithLogf redirects the tier's degradation log lines (default log.Printf
+// with a "remote: " prefix).
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(r *Remote) { r.logf = logf }
+}
+
+// WithHTTPClient substitutes the HTTP client (the per-fetch timeout still
+// comes from WithTimeout, via the request context).
+func WithHTTPClient(c *http.Client) Option {
+	return func(r *Remote) { r.client = c }
+}
+
+// New creates a remote tier reading through the mctopd at base (e.g.
+// "http://origin:8077"). The origin's availability is probed lazily — a
+// Remote over an unreachable origin constructs fine and simply misses.
+func New(base string, opts ...Option) *Remote {
+	r := &Remote{
+		base:       strings.TrimRight(base, "/"),
+		client:     &http.Client{},
+		timeout:    DefaultTimeout,
+		negTTL:     defaultNegTTL,
+		backoffMax: defaultBackoffMax,
+		logf:       func(format string, args ...any) { log.Printf("remote: "+format, args...) },
+		now:        time.Now,
+		inflight:   make(map[string]*call),
+		neg:        make(map[string]time.Time),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Base returns the upstream base URL.
+func (r *Remote) Base() string { return r.base }
+
+// Get implements registry.Store: fetch the entry's description file from
+// the origin, degrading every failure to a miss.
+func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
+	now := r.now()
+	r.mu.Lock()
+	if until, ok := r.neg[key]; ok && !now.Before(until) {
+		delete(r.neg, key) // expired; drop eagerly so the map tracks live entries
+	}
+	if now.Before(r.down) || now.Before(r.neg[key]) {
+		r.mu.Unlock()
+		r.misses.Add(1)
+		return nil, false
+	}
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		if c.ok {
+			r.hits.Add(1)
+			return c.val, true
+		}
+		r.misses.Add(1)
+		return nil, false
+	}
+	c := &call{done: make(chan struct{})}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	v, err, originFault := r.fetch(kind, key)
+	now = r.now()
+	r.mu.Lock()
+	delete(r.inflight, key)
+	switch {
+	case err == nil:
+		r.fails = 0
+		delete(r.neg, key)
+		c.val, c.ok = v, true
+	case originFault:
+		// Exponential origin-level backoff: a down origin costs one
+		// failed dial per window, not one per request.
+		if r.fails < 16 { // cap the shift; the backoff is bounded anyway
+			r.fails++
+		}
+		backoff := r.negTTL << (r.fails - 1)
+		if backoff > r.backoffMax || backoff <= 0 {
+			backoff = r.backoffMax
+		}
+		r.down = now.Add(backoff)
+	default:
+		// The origin answered but cannot serve this key (or served bytes
+		// we cannot decode): negative-cache the key alone. The map is
+		// bounded: keys that are never looked up again would otherwise
+		// accumulate forever on an edge with a varied key stream, so past
+		// the bound expired entries are swept — and if every entry is
+		// live, the cache is dropped wholesale (it is an optimization;
+		// the cost is refetches, never wrong results).
+		if len(r.neg) >= maxNegEntries {
+			for k, until := range r.neg {
+				if !now.Before(until) {
+					delete(r.neg, k)
+				}
+			}
+			if len(r.neg) >= maxNegEntries {
+				r.neg = make(map[string]time.Time)
+			}
+		}
+		r.neg[key] = now.Add(r.negTTL)
+	}
+	r.mu.Unlock()
+	close(c.done)
+
+	if err != nil {
+		r.logf("fetching %q: %v (degrading to a miss)", key, err)
+		r.errors.Add(1)
+		r.misses.Add(1)
+		return nil, false
+	}
+	r.hits.Add(1)
+	return v, true
+}
+
+// fetch performs one upstream GET and decodes the body per entry kind.
+// originFault distinguishes origin-level failures (dial errors, timeouts,
+// 5xx — back off from the origin) from per-key ones (4xx, undecodable
+// bodies — negative-cache the key).
+func (r *Remote) fetch(kind registry.Kind, key string) (val any, err error, originFault bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		r.base+"/v1/export?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, err, false
+	}
+	r.fetches.Add(1)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err, true
+	}
+	defer resp.Body.Close()
+	body := io.LimitReader(resp.Body, maxBodyBytes)
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little for connection reuse; the error carries the code.
+		io.CopyN(io.Discard, body, 4096)
+		return nil, fmt.Errorf("origin returned %s", resp.Status), resp.StatusCode >= 500
+	}
+	switch kind {
+	case registry.KindTopology:
+		t, err := r.decodeTopology(key, body)
+		return t, err, false
+	case registry.KindPlacement:
+		p, err := r.decodePlacement(key, body)
+		return p, err, false
+	default:
+		return nil, fmt.Errorf("unknown entry kind %v", kind), false
+	}
+}
+
+func (r *Remote) decodeTopology(key string, body io.Reader) (*topo.Topology, error) {
+	gotKey, t, err := spool.DecodeTopology(body)
+	if err != nil {
+		return nil, err
+	}
+	if gotKey != "" && gotKey != key {
+		// A mislabeled body must never land in the cache under this key.
+		return nil, fmt.Errorf("key header names %q", gotKey)
+	}
+	r.lastMu.Lock()
+	r.lastKey, r.lastTopo = key, t
+	r.lastMu.Unlock()
+	return t, nil
+}
+
+func (r *Remote) decodePlacement(key string, body io.Reader) (*place.Placement, error) {
+	side, err := spool.DecodeSidecar(body)
+	if err != nil {
+		return nil, err
+	}
+	if side.Key != "" && side.Key != key {
+		return nil, fmt.Errorf("key header names %q", side.Key)
+	}
+	t, err := r.topologyFor(side.TopoKey)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
+	}
+	return place.Reconstruct(t, side.Policy, side.Ctxs)
+}
+
+// topologyFor resolves the topology a sidecar references: the memo first,
+// then a recursive Get — which rides the tier's own singleflight and
+// negative cache, so many sidecars of one topology fetch it once.
+func (r *Remote) topologyFor(topoKey string) (*topo.Topology, error) {
+	r.lastMu.Lock()
+	if r.lastKey == topoKey && r.lastTopo != nil {
+		t := r.lastTopo
+		r.lastMu.Unlock()
+		return t, nil
+	}
+	r.lastMu.Unlock()
+	v, ok := r.Get(registry.KindTopology, topoKey)
+	if !ok {
+		return nil, fmt.Errorf("not fetchable")
+	}
+	return v.(*topo.Topology), nil
+}
+
+// Put implements registry.Store as a no-op: the fleet is pull-only — an
+// edge never pushes what it inferred to the origin (the origin computes or
+// spools its own entries). Tiered write-through therefore stops here.
+func (r *Remote) Put(kind registry.Kind, key string, val any) {}
+
+// Len implements registry.Store: a remote tier holds nothing locally.
+func (r *Remote) Len() int { return 0 }
+
+// Purge implements registry.Store: drop the negative caches and the
+// origin backoff, so the next Get probes the origin again.
+func (r *Remote) Purge() {
+	r.mu.Lock()
+	r.neg = make(map[string]time.Time)
+	r.down = time.Time{}
+	r.fails = 0
+	r.mu.Unlock()
+	r.lastMu.Lock()
+	r.lastKey, r.lastTopo = "", nil
+	r.lastMu.Unlock()
+}
+
+// Stats implements registry.Store.
+func (r *Remote) Stats() []registry.StoreStats {
+	return []registry.StoreStats{{
+		Tier:   "remote",
+		Hits:   r.hits.Load(),
+		Misses: r.misses.Load(),
+		Errors: r.errors.Load(),
+	}}
+}
+
+// Fetches reports how many upstream requests were actually issued —
+// what the singleflight and the negative caches exist to minimize.
+func (r *Remote) Fetches() int64 { return r.fetches.Load() }

@@ -1,0 +1,204 @@
+package spool
+
+// The spool's interchange codec, factored out of the file-backed tier so
+// every carrier of the on-disk format — the spool itself, `mctop
+// export/import/fetch`, mctopd's /v1/export endpoint and the remote store
+// tier that consumes it — encodes and decodes the exact same bytes. A
+// topology travels as a `#key`-headed description file; a placement as the
+// compact sidecar documented on EncodeSidecar. Everything here works on
+// io.Reader/io.Writer: the spool wraps files around it, the fleet tier
+// wraps HTTP bodies.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/place"
+	"repro/internal/topo"
+)
+
+// EncodeTopology writes a topology as a `#key`-headed MCTOP description
+// file: the interchange format of the spool, `mctop export` and mctopd's
+// /v1/export. The header is a comment, so any .mctop reader decodes the
+// body; key may be empty for a bare description file.
+func EncodeTopology(w io.Writer, key string, t *topo.Topology) error {
+	if key != "" {
+		if _, err := fmt.Fprintf(w, "%s%s\n", keyHeader, key); err != nil {
+			return err
+		}
+	}
+	spec := t.Spec()
+	return topo.Encode(w, &spec)
+}
+
+// DecodeTopology reads a description file — spooled, fetched or bare — and
+// returns its registry key (empty when the stream has no `#key` header) and
+// the topology.
+func DecodeTopology(r io.Reader) (key string, t *topo.Topology, err error) {
+	br := bufio.NewReader(r)
+	// Peel leading `#key` headers by hand; topo.Decode skips all comments,
+	// but the key must be surfaced, not skipped.
+	for {
+		peek, err := br.Peek(1)
+		if err != nil {
+			return "", nil, err
+		}
+		if peek[0] != '#' {
+			break
+		}
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return "", nil, err
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, keyHeader) {
+			key = strings.TrimSpace(strings.TrimPrefix(line, keyHeader))
+		}
+		if err == io.EOF {
+			return "", nil, fmt.Errorf("only comments")
+		}
+	}
+	spec, err := topo.Decode(br)
+	if err != nil {
+		return "", nil, err
+	}
+	t, err = topo.FromSpec(*spec)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, t, nil
+}
+
+// DecodeTopologyFile is DecodeTopology over a file — the interchange entry
+// point behind `mctop import`.
+func DecodeTopologyFile(path string) (key string, t *topo.Topology, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	key, t, err = DecodeTopology(f)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return key, t, nil
+}
+
+// Sidecar is the decoded form of a .place file: everything needed to
+// rebuild the placement (via place.Reconstruct on the referenced topology)
+// without re-running the policy.
+type Sidecar struct {
+	// Key is the registry placement key (from the #key header; may be
+	// empty on hand-written files).
+	Key string
+	// TopoKey is the registry key of the topology the placement was
+	// computed on.
+	TopoKey string
+	// Policy is the policy name recorded by the placement.
+	Policy string
+	// Ctxs is the assignment order (hardware context per thread slot).
+	Ctxs []int
+}
+
+// EncodeSidecar writes the .place sidecar format:
+//
+//	#key <placement key>
+//	mctop-place 1
+//	topokey <topology key>
+//	policy <name>
+//	nthreads <n>
+//	ctxs <id...>           (omitted when the placement has no slots)
+//	end
+func EncodeSidecar(w io.Writer, key, topoKey string, p *place.Placement) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s%s\n", keyHeader, key)
+	fmt.Fprintln(bw, placeMagic)
+	fmt.Fprintf(bw, "topokey %s\n", topoKey)
+	fmt.Fprintf(bw, "policy %s\n", p.PolicyName())
+	ctxs := p.Contexts()
+	fmt.Fprintf(bw, "nthreads %d\n", len(ctxs))
+	if len(ctxs) > 0 {
+		bw.WriteString("ctxs")
+		for _, c := range ctxs {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// DecodeSidecar parses a .place sidecar.
+func DecodeSidecar(r io.Reader) (*Sidecar, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	side := &Sidecar{}
+	sawMagic, sawEnd := false, false
+	nThreads := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, keyHeader) {
+				side.Key = strings.TrimSpace(strings.TrimPrefix(line, keyHeader))
+			}
+			continue
+		}
+		if !sawMagic {
+			if line != placeMagic {
+				return nil, fmt.Errorf("bad magic %q", line)
+			}
+			sawMagic = true
+			continue
+		}
+		if line == "end" {
+			sawEnd = true
+			break
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		switch directive {
+		case "topokey":
+			side.TopoKey = strings.TrimSpace(rest)
+		case "policy":
+			side.Policy = strings.TrimSpace(rest)
+		case "nthreads":
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad nthreads %q", rest)
+			}
+			nThreads = n
+		case "ctxs":
+			for _, fld := range strings.Fields(rest) {
+				v, err := strconv.Atoi(fld)
+				if err != nil {
+					return nil, fmt.Errorf("bad ctx %q", fld)
+				}
+				side.Ctxs = append(side.Ctxs, v)
+			}
+		default:
+			return nil, fmt.Errorf("unknown directive %q", directive)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case !sawMagic:
+		return nil, fmt.Errorf("empty sidecar")
+	case !sawEnd:
+		return nil, fmt.Errorf("missing end marker")
+	case side.TopoKey == "":
+		return nil, fmt.Errorf("missing topokey")
+	case side.Policy == "":
+		return nil, fmt.Errorf("missing policy")
+	case nThreads != len(side.Ctxs):
+		return nil, fmt.Errorf("nthreads %d but %d ctxs", nThreads, len(side.Ctxs))
+	}
+	return side, nil
+}

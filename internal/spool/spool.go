@@ -32,10 +32,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"strconv"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/place"
 	"repro/internal/registry"
@@ -55,6 +56,12 @@ type Spool struct {
 	dir  string
 	logf func(format string, args ...any)
 
+	// maxBytes / maxAge bound the directory (0 = unlimited): enforced at
+	// the startup scan and after every Flush/Close, evicting
+	// oldest-mtime files first. See enforceLimits.
+	maxBytes int64
+	maxAge   time.Duration
+
 	mu      sync.Mutex
 	entries map[string]registry.Kind // keys with a durable file on disk
 
@@ -73,10 +80,11 @@ type Spool struct {
 	lastKey  string
 	lastTopo *topo.Topology
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	puts   atomic.Int64
-	errors atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	errors    atomic.Int64
+	evictions atomic.Int64
 }
 
 // writeOp is one queued write, or a flush barrier (flush != nil).
@@ -94,6 +102,22 @@ type Option func(*Spool)
 // log.Printf with a "spool: " prefix).
 func WithLogf(logf func(format string, args ...any)) Option {
 	return func(s *Spool) { s.logf = logf }
+}
+
+// WithMaxBytes bounds the spool directory's total size (<= 0 = unlimited).
+// The bound is enforced at the startup scan and after every Flush/Close by
+// evicting oldest-mtime files first — the hygiene bound for long-lived
+// daemons whose spool would otherwise only grow. A single entry larger
+// than the bound is itself evicted.
+func WithMaxBytes(n int64) Option {
+	return func(s *Spool) { s.maxBytes = n }
+}
+
+// WithMaxAge evicts spool files whose mtime is older than d (<= 0 =
+// unlimited), on the same schedule as WithMaxBytes. A topology this stale
+// re-infers (and re-spools, refreshing its mtime) on next use.
+func WithMaxAge(d time.Duration) Option {
+	return func(s *Spool) { s.maxAge = d }
 }
 
 // New opens (creating if needed) a spool directory and scans it: files
@@ -117,6 +141,7 @@ func New(dir string, opts ...Option) (*Spool, error) {
 	if err := s.scan(); err != nil {
 		return nil, err
 	}
+	s.enforceLimits()
 	go s.writer()
 	return s, nil
 }
@@ -289,18 +314,23 @@ func (s *Spool) loadTopology(key string) (*topo.Topology, error) {
 
 func (s *Spool) loadPlacement(key string) (*place.Placement, error) {
 	path := filepath.Join(s.dir, fileName(key, placeExt))
-	side, err := decodePlacementFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if side.key != "" && side.key != key {
-		return nil, fmt.Errorf("key header names %q", side.key)
-	}
-	t, err := s.loadTopology(side.topoKey)
+	side, err := DecodeSidecar(f)
+	f.Close()
 	if err != nil {
-		return nil, fmt.Errorf("topology %q: %w", side.topoKey, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return place.Reconstruct(t, side.policy, side.ctxs)
+	if side.Key != "" && side.Key != key {
+		return nil, fmt.Errorf("key header names %q", side.Key)
+	}
+	t, err := s.loadTopology(side.TopoKey)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
+	}
+	return place.Reconstruct(t, side.Policy, side.Ctxs)
 }
 
 // Put implements registry.Store: enqueue a write-behind, falling back to a
@@ -350,12 +380,8 @@ func (s *Spool) write(op writeOp) {
 			s.errors.Add(1)
 			return
 		}
-		spec := v.Spec()
 		encode = func(w io.Writer) error {
-			if _, err := fmt.Fprintf(w, "%s%s\n", keyHeader, op.key); err != nil {
-				return err
-			}
-			return topo.Encode(w, &spec)
+			return EncodeTopology(w, op.key, v)
 		}
 	case *place.Placement:
 		if op.kind != registry.KindPlacement {
@@ -369,8 +395,21 @@ func (s *Spool) write(op writeOp) {
 			s.errors.Add(1)
 			return
 		}
+		// Invariant: a durable sidecar implies a durable topology —
+		// loading the sidecar needs the referenced .mctop file. The
+		// normal daemon flow Puts the topology first, but a placement
+		// promoted from a remote tier arrives alone; persist its
+		// topology alongside or the sidecar is dead weight on restart.
+		s.mu.Lock()
+		_, haveTopo := s.entries[topoKey]
+		s.mu.Unlock()
+		if !haveTopo {
+			if t := v.Topology(); t != nil {
+				s.write(writeOp{kind: registry.KindTopology, key: topoKey, val: t})
+			}
+		}
 		encode = func(w io.Writer) error {
-			return encodePlacement(w, op.key, topoKey, v)
+			return EncodeSidecar(w, op.key, topoKey, v)
 		}
 	default:
 		s.logf("dropping write of %q: unsupported value %T", op.key, op.val)
@@ -418,11 +457,12 @@ func (s *Spool) Purge() {
 // Stats implements registry.Store.
 func (s *Spool) Stats() []registry.StoreStats {
 	st := registry.StoreStats{
-		Tier:   "spool",
-		Hits:   s.hits.Load(),
-		Misses: s.misses.Load(),
-		Puts:   s.puts.Load(),
-		Errors: s.errors.Load(),
+		Tier:      "spool",
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Errors:    s.errors.Load(),
+		Evictions: s.evictions.Load(),
 	}
 	s.mu.Lock()
 	for _, kind := range s.entries {
@@ -439,18 +479,22 @@ func (s *Spool) Stats() []registry.StoreStats {
 }
 
 // Flush implements registry.Flusher: block until every Put accepted so far
-// is durable on disk.
+// is durable on disk, then enforce the size/age bounds — the one point
+// where every accepted write has landed and the directory's true size is
+// knowable.
 func (s *Spool) Flush() error {
 	s.sendMu.RLock()
 	if s.closed {
 		s.sendMu.RUnlock()
 		<-s.done // writer drains the queue before exiting
+		s.enforceLimits()
 		return nil
 	}
 	barrier := make(chan struct{})
 	s.pending <- writeOp{flush: barrier}
 	s.sendMu.RUnlock()
 	<-barrier
+	s.enforceLimits()
 	return nil
 }
 
@@ -467,50 +511,87 @@ func (s *Spool) Close() error {
 	close(s.pending)
 	s.sendMu.Unlock()
 	<-s.done
+	s.enforceLimits()
 	return nil
 }
 
-// DecodeTopologyFile reads a description file — spooled or bare — and
-// returns its registry key (empty when the file has no `#key` header) and
-// the topology. The interchange entry point behind `mctop import`.
-func DecodeTopologyFile(path string) (key string, t *topo.Topology, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return "", nil, err
+// enforceLimits applies the WithMaxBytes/WithMaxAge bounds: stat every
+// entry, then evict oldest-mtime first while any file is past the age
+// bound or the directory is over the byte budget. Both walks stop at the
+// first file that satisfies the bounds — mtime-sorted, everything after it
+// does too. Files a queued write has not landed yet stat to ENOENT and are
+// skipped (the next Flush sweeps them).
+func (s *Spool) enforceLimits() {
+	if s.maxBytes <= 0 && s.maxAge <= 0 {
+		return
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	// Peel leading `#key` headers by hand; topo.Decode skips all comments,
-	// but the key must be surfaced, not skipped.
-	for {
-		peek, err := br.Peek(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type entry struct {
+		key   string
+		kind  registry.Kind
+		size  int64
+		mtime time.Time
+	}
+	ents := make([]entry, 0, len(s.entries))
+	var total int64
+	for key, kind := range s.entries {
+		fi, err := os.Stat(filepath.Join(s.dir, fileName(key, extOf(kind))))
 		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", path, err)
+			continue
 		}
-		if peek[0] != '#' {
+		ents = append(ents, entry{key, kind, fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].mtime.Before(ents[j].mtime) })
+	cutoff := time.Now().Add(-s.maxAge)
+	evictedTopos := map[string]bool{}
+	for _, e := range ents {
+		expired := s.maxAge > 0 && e.mtime.Before(cutoff)
+		over := s.maxBytes > 0 && total > s.maxBytes
+		if !expired && !over {
 			break
 		}
-		line, err := br.ReadString('\n')
-		if err != nil && err != io.EOF {
-			return "", nil, fmt.Errorf("%s: %w", path, err)
-		}
-		line = strings.TrimSpace(line)
-		if strings.HasPrefix(line, keyHeader) {
-			key = strings.TrimSpace(strings.TrimPrefix(line, keyHeader))
-		}
-		if err == io.EOF {
-			return "", nil, fmt.Errorf("%s: only comments", path)
+		if s.evictLocked(e.key, e.kind, e.size, e.mtime) {
+			total -= e.size
+			if e.kind == registry.KindTopology {
+				evictedTopos[e.key] = true
+			}
 		}
 	}
-	spec, err := topo.Decode(br)
-	if err != nil {
-		return "", nil, fmt.Errorf("%s: %w", path, err)
+	if len(evictedTopos) == 0 {
+		return
 	}
-	t, err = topo.FromSpec(*spec)
-	if err != nil {
-		return "", nil, fmt.Errorf("%s: %w", path, err)
+	// Cascade: a sidecar whose topology was just evicted can never load
+	// again (every Get would fail to a logged miss) yet would keep its
+	// index slot and its share of the byte budget. Drop them now.
+	for _, e := range ents {
+		if e.kind != registry.KindPlacement || s.entries[e.key] != registry.KindPlacement {
+			continue
+		}
+		if tk, ok := topoKeyOfPlaceKey(e.key); ok && evictedTopos[tk] {
+			s.evictLocked(e.key, e.kind, e.size, e.mtime)
+		}
 	}
-	return key, t, nil
+}
+
+// evictLocked removes one entry's file and index slot (s.mu held).
+func (s *Spool) evictLocked(key string, kind registry.Kind, size int64, mtime time.Time) bool {
+	name := fileName(key, extOf(kind))
+	if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+		s.logf("evicting %s: %v", name, err)
+		s.errors.Add(1)
+		return false
+	}
+	delete(s.entries, key)
+	s.evictions.Add(1)
+	s.logf("evicted %s (%d bytes, mtime %s)", name, size, mtime.Format(time.RFC3339))
+	s.lastMu.Lock()
+	if s.lastKey == key {
+		s.lastKey, s.lastTopo = "", nil
+	}
+	s.lastMu.Unlock()
+	return true
 }
 
 // topoKeyOfPlaceKey extracts the embedded topology key from a registry
@@ -532,116 +613,4 @@ func topoKeyOfPlaceKey(placeKey string) (string, bool) {
 		return "", false
 	}
 	return rest[:j], true
-}
-
-// placementSidecar is the parsed .place file.
-type placementSidecar struct {
-	key     string // registry placement key (from the #key header)
-	topoKey string // registry key of the topology it was computed on
-	policy  string
-	ctxs    []int
-}
-
-// encodePlacement writes the sidecar format:
-//
-//	#key <placement key>
-//	mctop-place 1
-//	topokey <topology key>
-//	policy <name>
-//	nthreads <n>
-//	ctxs <id...>           (omitted when the placement has no slots)
-//	end
-func encodePlacement(w io.Writer, key, topoKey string, p *place.Placement) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "%s%s\n", keyHeader, key)
-	fmt.Fprintln(bw, placeMagic)
-	fmt.Fprintf(bw, "topokey %s\n", topoKey)
-	fmt.Fprintf(bw, "policy %s\n", p.PolicyName())
-	ctxs := p.Contexts()
-	fmt.Fprintf(bw, "nthreads %d\n", len(ctxs))
-	if len(ctxs) > 0 {
-		bw.WriteString("ctxs")
-		for _, c := range ctxs {
-			fmt.Fprintf(bw, " %d", c)
-		}
-		bw.WriteByte('\n')
-	}
-	fmt.Fprintln(bw, "end")
-	return bw.Flush()
-}
-
-// decodePlacementFile parses a .place sidecar.
-func decodePlacementFile(path string) (*placementSidecar, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	side := &placementSidecar{}
-	sawMagic, sawEnd := false, false
-	nThreads := -1
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			if strings.HasPrefix(line, keyHeader) {
-				side.key = strings.TrimSpace(strings.TrimPrefix(line, keyHeader))
-			}
-			continue
-		}
-		if !sawMagic {
-			if line != placeMagic {
-				return nil, fmt.Errorf("%s: bad magic %q", path, line)
-			}
-			sawMagic = true
-			continue
-		}
-		if line == "end" {
-			sawEnd = true
-			break
-		}
-		directive, rest, _ := strings.Cut(line, " ")
-		switch directive {
-		case "topokey":
-			side.topoKey = strings.TrimSpace(rest)
-		case "policy":
-			side.policy = strings.TrimSpace(rest)
-		case "nthreads":
-			n, err := strconv.Atoi(strings.TrimSpace(rest))
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("%s: bad nthreads %q", path, rest)
-			}
-			nThreads = n
-		case "ctxs":
-			for _, fld := range strings.Fields(rest) {
-				v, err := strconv.Atoi(fld)
-				if err != nil {
-					return nil, fmt.Errorf("%s: bad ctx %q", path, fld)
-				}
-				side.ctxs = append(side.ctxs, v)
-			}
-		default:
-			return nil, fmt.Errorf("%s: unknown directive %q", path, directive)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	switch {
-	case !sawMagic:
-		return nil, fmt.Errorf("%s: empty sidecar", path)
-	case !sawEnd:
-		return nil, fmt.Errorf("%s: missing end marker", path)
-	case side.topoKey == "":
-		return nil, fmt.Errorf("%s: missing topokey", path)
-	case side.policy == "":
-		return nil, fmt.Errorf("%s: missing policy", path)
-	case nThreads != len(side.ctxs):
-		return nil, fmt.Errorf("%s: nthreads %d but %d ctxs", path, nThreads, len(side.ctxs))
-	}
-	return side, nil
 }

@@ -75,6 +75,9 @@
 //     Section 2) over a pluggable tiered store
 //   - internal/spool     — the description-file persistence tier behind
 //     WithSpoolDir and mctopd's -spool-dir
+//   - internal/remote    — the fleet tier behind WithUpstream and mctopd's
+//     -upstream: an edge daemon pulls description files from an origin
+//     instead of inferring locally
 //   - internal/locks, internal/contend, internal/msort, internal/reduce,
 //     internal/mapreduce, internal/graph, internal/omp,
 //     internal/worksteal — the portable-optimization case studies
@@ -84,10 +87,12 @@ package mctop
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/mctopalg"
 	"repro/internal/place"
 	"repro/internal/registry"
+	"repro/internal/remote"
 	"repro/internal/sim"
 	"repro/internal/spool"
 	"repro/internal/topo"
@@ -227,8 +232,11 @@ type StoreStats = registry.StoreStats
 type RegistryOption func(*registryConfig)
 
 type registryConfig struct {
-	store    Store
-	spoolDir string
+	store         Store
+	spoolDir      string
+	spoolMaxBytes int64
+	spoolMaxAge   time.Duration
+	upstream      string
 }
 
 // WithStore installs a custom cache store — typically a NewTieredStore
@@ -250,6 +258,30 @@ func WithSpoolDir(dir string) RegistryOption {
 	return func(c *registryConfig) { c.spoolDir = dir }
 }
 
+// WithSpoolLimits bounds the spool WithSpoolDir opens: maxBytes caps the
+// directory's total size and maxAge evicts files older than it (<= 0 =
+// unlimited for either). Bounds are enforced at the startup scan and after
+// every Flush/Close, oldest-mtime files first — the hygiene story for
+// long-lived daemons whose spool would otherwise only grow. Evictions
+// surface in the spool tier's StoreStats. No-op without WithSpoolDir.
+func WithSpoolLimits(maxBytes int64, maxAge time.Duration) RegistryOption {
+	return func(c *registryConfig) {
+		c.spoolMaxBytes, c.spoolMaxAge = maxBytes, maxAge
+	}
+}
+
+// WithUpstream chains a remote tier under the registry's local tiers: a
+// key that misses the LRU (and the spool, if any) is fetched from the
+// mctopd at originURL via its /v1/export endpoint before falling back to
+// local inference — the fleet deployment where one origin infers and every
+// edge serves cached description files. The remote tier never fails: a
+// down, slow or corrupt origin degrades to local re-inference, with
+// negative caching and backoff so an unreachable origin costs one failed
+// dial per window rather than per-request latency.
+func WithUpstream(originURL string) RegistryOption {
+	return func(c *registryConfig) { c.upstream = originURL }
+}
+
 // OpenSpool opens (creating if needed) a description-file spool directory
 // as a Store tier — the error-returning path behind WithSpoolDir. Wire it
 // in with WithStore:
@@ -259,6 +291,31 @@ func WithSpoolDir(dir string) RegistryOption {
 //		mctop.NewTieredStore(mctop.NewLRUStore(256, 0), sp)))
 func OpenSpool(dir string) (Store, error) {
 	return spool.New(dir)
+}
+
+// OpenSpoolWithLimits is OpenSpool with the WithSpoolLimits bounds
+// (<= 0 = unlimited for either).
+func OpenSpoolWithLimits(dir string, maxBytes int64, maxAge time.Duration) (Store, error) {
+	return spool.New(dir, spoolLimitOptions(maxBytes, maxAge)...)
+}
+
+func spoolLimitOptions(maxBytes int64, maxAge time.Duration) []spool.Option {
+	var opts []spool.Option
+	if maxBytes > 0 {
+		opts = append(opts, spool.WithMaxBytes(maxBytes))
+	}
+	if maxAge > 0 {
+		opts = append(opts, spool.WithMaxAge(maxAge))
+	}
+	return opts
+}
+
+// NewRemoteStore creates the fleet tier: a read-only Store fetching
+// `#key`-headed description files from the mctopd at originURL (its
+// /v1/export endpoint). See WithUpstream for the degradation semantics;
+// use it directly to compose custom chains with NewTieredStore.
+func NewRemoteStore(originURL string) Store {
+	return remote.New(originURL)
 }
 
 // NewLRUStore creates the in-memory sharded LRU tier (<= 0 arguments pick
@@ -276,21 +333,32 @@ func NewTieredStore(tiers ...Store) Store {
 // NewRegistry creates a topology registry bounded to maxEntries cached
 // values (topologies and placements each count as one; <= 0 uses the
 // default of 256). Misses run the full simulate → infer → enrich pipeline
-// under the caller's context. Options add storage tiers: WithSpoolDir
-// persists the cache as description files so a restart warm-starts from
-// disk; WithStore installs any custom tier chain. Registries with a
-// persistent tier should be Flush()ed (or Close()d) before process exit.
+// under the caller's context. Options add storage tiers, composing the
+// chain LRU → spool → remote (each optional tier only if requested):
+// WithSpoolDir persists the cache as description files so a restart
+// warm-starts from disk (bounded via WithSpoolLimits); WithUpstream
+// fetches misses from an origin mctopd before inferring locally;
+// WithStore installs any custom tier chain (and overrides the others).
+// Registries with a persistent tier should be Flush()ed (or Close()d)
+// before process exit.
 func NewRegistry(maxEntries int, opts ...RegistryOption) *Registry {
 	var c registryConfig
 	for _, o := range opts {
 		o(&c)
 	}
-	if c.store == nil && c.spoolDir != "" {
-		sp, err := spool.New(c.spoolDir)
-		if err != nil {
-			panic(fmt.Sprintf("mctop: opening spool: %v", err))
+	if c.store == nil && (c.spoolDir != "" || c.upstream != "") {
+		tiers := []Store{registry.NewLRU(maxEntries, 0)}
+		if c.spoolDir != "" {
+			sp, err := spool.New(c.spoolDir, spoolLimitOptions(c.spoolMaxBytes, c.spoolMaxAge)...)
+			if err != nil {
+				panic(fmt.Sprintf("mctop: opening spool: %v", err))
+			}
+			tiers = append(tiers, sp)
 		}
-		c.store = registry.NewTiered(registry.NewLRU(maxEntries, 0), sp)
+		if c.upstream != "" {
+			tiers = append(tiers, remote.New(c.upstream))
+		}
+		c.store = registry.NewTiered(tiers...)
 	}
 	return registry.New(registry.Options{
 		MaxEntries: maxEntries,
