@@ -1,12 +1,22 @@
-// Command mctop-bench regenerates every table and figure of the MCTOP
-// paper's evaluation (Section 7) on the simulated platforms and prints
-// them as markdown — the source of EXPERIMENTS.md.
+// Command mctop-bench is the repo's benchmark driver, with two modes:
+//
+//   - `mctop-bench figures` (also the default with no subcommand, for
+//     compatibility) regenerates every table and figure of the MCTOP
+//     paper's evaluation (Section 7) on the simulated platforms and
+//     prints them as markdown — the source of EXPERIMENTS.md.
+//   - `mctop-bench load` is a closed-loop load generator against a live
+//     mctopd: N workers, a configurable route mix and warm/cold ratio,
+//     per-route p50/p95/p99 and SLO pass/fail, with -json emitting the
+//     bench2json document shape so cmd/benchdelta can diff runs.
 //
 // Usage:
 //
-//	mctop-bench              # everything
-//	mctop-bench -only fig8   # one experiment: fig1to3, fig6, sec35, fig7,
-//	                         # fig8, fig9, fig10, fig11, fig12, ablations
+//	mctop-bench                            # all figures
+//	mctop-bench figures -only fig8         # one experiment: fig1to3, fig6,
+//	                                       # sec35, fig7..fig12, ablations
+//	mctop-bench load -target http://127.0.0.1:8077 -workers 8 -duration 30s \
+//	    -mix topology=2,place=2,batch=1,stream=1 -cold 0.01 \
+//	    -slo-p99 /v1/place=50ms -json load.json
 package main
 
 import (
@@ -43,8 +53,23 @@ func enriched(name string) *topo.Topology {
 }
 
 func main() {
-	only := flag.String("only", "", "run a single experiment")
-	flag.Parse()
+	// Subcommand dispatch; a bare or flag-leading invocation stays the
+	// legacy figures mode so existing scripts keep working.
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "figures":
+			args = args[1:]
+		case "load":
+			os.Exit(loadMain(args[1:]))
+		default:
+			fmt.Fprintf(os.Stderr, "mctop-bench: unknown subcommand %q (figures, load)\n", args[0])
+			os.Exit(2)
+		}
+	}
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	only := fs.String("only", "", "run a single experiment")
+	fs.Parse(args)
 	run := func(name string, f func()) {
 		if *only == "" || *only == name {
 			f()

@@ -1,0 +1,119 @@
+package main
+
+// The load harness as the integration test rig: an in-process origin+edge
+// fleet under internal/loadgen's closed loop at a mixed workload. The bar:
+// zero errors, SLO pass, every edge answer served without a local
+// inference, and the /metrics mirror agreeing exactly with /v1/stats once
+// the load quiesces — the same loop `mctop-bench load` runs against a real
+// deployment.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/registry"
+)
+
+func decodeStats(t *testing.T, body []byte) registry.Stats {
+	t.Helper()
+	var st registry.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decoding /v1/stats: %v\n%s", err, body)
+	}
+	return st
+}
+
+func TestLoadHarnessDrivesFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second integration run")
+	}
+	// Origin: spool-backed, the only place inference may run.
+	originSrv, originReg := spoolServer(t, t.TempDir())
+	origin := httptest.NewServer(originSrv.routes())
+	defer origin.Close()
+
+	// Edge: LRU over a remote tier against the origin — the harness's
+	// target, as `mctopd -upstream` would wire it.
+	edgeSrv, edgeReg := edgeServer(t, origin.URL)
+	edge := httptest.NewServer(edgeSrv.routes())
+	defer edge.Close()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:      edge.URL,
+		Workers:     4,
+		Duration:    2 * time.Minute, // the request bound fires first
+		MaxRequests: 160,
+		Mix:         loadgen.Mix{Topology: 2, Place: 2, Batch: 1, Stream: 1},
+		Platforms:   []string{"Ivy", "Haswell"},
+		Reps:        51, // keeps the origin's cold inferences fast
+		WarmSeeds:   2,
+		Policies:    []string{"RR_CORE", "RR_HWC"},
+		BatchSize:   4,
+		MaxThreads:  8,
+		Seed:        7,
+		SLO: loadgen.SLO{
+			MaxErrorRate: 1e-9, // zero errors allowed
+			P99: map[string]time.Duration{
+				loadgen.RouteTopology: time.Minute,
+				loadgen.RoutePlace:    time.Minute,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if rep.Errors != 0 {
+		t.Fatalf("harness saw %d errors of %d requests", rep.Errors, rep.Requests)
+	}
+	if !rep.OK() {
+		t.Fatalf("SLO failures: %v", rep.SLOFailures)
+	}
+	if rep.Requests != 160 {
+		t.Fatalf("harness issued %d requests, want 160", rep.Requests)
+	}
+
+	// Fleet invariant under load: the edge never inferred or computed —
+	// everything was a local cache hit or a fetch of the origin's entries.
+	edgeStats := edgeReg.Stats()
+	if edgeStats.Inferences != 0 || edgeStats.Placements != 0 {
+		t.Fatalf("edge computed locally under load: %d inferences, %d placements",
+			edgeStats.Inferences, edgeStats.Placements)
+	}
+	if originReg.Stats().Inferences == 0 {
+		t.Fatal("origin ran no inferences — the load never reached it")
+	}
+
+	// Quiesced, /metrics and /v1/stats must be two views of one counter
+	// set: the registry mirror equal field-for-field, and the per-tier
+	// per-kind gets equal to the tier snapshot's Kinds.
+	_, body := get(t, edge, "/v1/stats")
+	st := decodeStats(t, body)
+	m := scrapeMetrics(t, edge)
+	wantSample(t, m, "mctopd_registry_hits_total", float64(st.Hits))
+	wantSample(t, m, "mctopd_registry_misses_total", float64(st.Misses))
+	wantSample(t, m, "mctopd_registry_inferences_total", float64(st.Inferences))
+	wantSample(t, m, "mctopd_registry_placements_total", float64(st.Placements))
+	wantSample(t, m, "mctopd_registry_entries", float64(st.Entries))
+	for _, tier := range st.Tiers {
+		for kind, ks := range tier.Kinds {
+			wantSample(t, m,
+				`mctopd_store_gets_total{kind="`+kind+`",result="hit",tier="`+tier.Tier+`"}`,
+				float64(ks.Hits))
+			wantSample(t, m,
+				`mctopd_store_gets_total{kind="`+kind+`",result="miss",tier="`+tier.Tier+`"}`,
+				float64(ks.Misses))
+		}
+	}
+	// And the serving-tier attribution saw the remote tier feed the edge.
+	if m[`mctopd_requests_served_by_tier_total{tier="remote"}`] == 0 {
+		t.Error("no requests attributed to the remote tier")
+	}
+	if m[`mctopd_requests_served_by_tier_total{tier="lru"}`] == 0 {
+		t.Error("no requests attributed to the lru tier")
+	}
+}

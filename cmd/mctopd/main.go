@@ -44,6 +44,9 @@
 //	                                       file or a .place sidecar — what
 //	                                       fleet edges fetch
 //	GET  /v1/stats                         registry hit/miss/eviction counters
+//	GET  /metrics                          Prometheus text exposition (exempt
+//	                                       from backpressure)
+//	GET  /debug/pprof/                     net/http/pprof, with -pprof
 //
 // Failures carry the client API's sentinel errors, mapped to HTTP statuses
 // in one place (statusOf): ErrInvalidRequest → 400, ErrUnknownPlatform and
@@ -78,8 +81,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -91,6 +97,7 @@ import (
 	mctop "repro"
 	"repro/internal/mctoperr"
 	"repro/internal/registry"
+	"repro/internal/remote"
 	"repro/internal/spool"
 	"repro/internal/topo"
 )
@@ -110,6 +117,8 @@ func main() {
 			"origin mctopd base URL (e.g. http://origin:8077): misses are fetched from its /v1/export before inferring locally, making this daemon a fleet edge")
 		inflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
 			"maximum concurrent in-flight requests before shedding with 503 (<= 0 disables)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof/ (exempt from backpressure, like /metrics)")
 	)
 	flag.Parse()
 
@@ -117,7 +126,11 @@ func main() {
 	// (optional) — any daemon is an origin to its downstreams and, with
 	// -upstream, an edge to its origin at the same time. With neither
 	// extra tier, NewRegistry builds its plain LRU itself.
-	var regOpts []mctop.RegistryOption
+	var (
+		regOpts []mctop.RegistryOption
+		s       *server // assigned below; the remote observer closes over it
+		rs      *remote.Remote
+	)
 	if *spoolDir != "" || *upstream != "" {
 		tiers := []mctop.Store{mctop.NewLRUStore(*cache, 0)}
 		if *spoolDir != "" {
@@ -129,13 +142,24 @@ func main() {
 			log.Printf("mctopd: spooling to %s (%d entries on disk)", *spoolDir, sp.Len())
 		}
 		if *upstream != "" {
-			tiers = append(tiers, mctop.NewRemoteStore(*upstream))
+			// Built directly (not through the facade) so the daemon keeps a
+			// handle for the backoff gauges; the observer reads s.metrics,
+			// which is assigned before the first request can fetch.
+			rs = remote.New(*upstream, remote.WithObserver(func(d time.Duration, outcome string) {
+				s.metrics.fetchObserver(*upstream)(d, outcome)
+			}))
+			tiers = append(tiers, rs)
 			log.Printf("mctopd: edge mode, pulling misses from %s", *upstream)
 		}
 		regOpts = append(regOpts, mctop.WithStore(mctop.NewTieredStore(tiers...)))
 	}
 	reg := mctop.NewRegistry(*cache, regOpts...)
-	s := newServerWith(reg, *reps, *inflight)
+	s = newServerWith(reg, *reps, *inflight)
+	s.pprof = *pprofOn
+	s.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if rs != nil {
+		s.metrics.observeRemote(*upstream, rs)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -176,8 +200,17 @@ type server struct {
 	reg         *mctop.Registry
 	defaultReps int
 	// inflight is the backpressure semaphore: one slot per in-flight
-	// request (healthz excepted). nil disables shedding.
+	// request (healthz, /metrics and pprof excepted). nil disables
+	// shedding.
 	inflight chan struct{}
+	// metrics is the daemon's Prometheus instrument set (always present;
+	// scraped at /metrics). logger writes one structured line per request
+	// (io.Discard by default so handler tests stay quiet; main installs a
+	// real one).
+	metrics *daemonMetrics
+	logger  *slog.Logger
+	// pprof mounts net/http/pprof under /debug/pprof/ when set.
+	pprof bool
 }
 
 func newServer(cacheEntries, defaultReps int) *server {
@@ -187,10 +220,16 @@ func newServer(cacheEntries, defaultReps int) *server {
 // newServerWith injects the registry and the in-flight bound, so tests can
 // substitute blocking inference functions and tiny bounds.
 func newServerWith(reg *mctop.Registry, defaultReps, maxInflight int) *server {
-	s := &server{reg: reg, defaultReps: defaultReps}
+	s := &server{
+		reg:         reg,
+		defaultReps: defaultReps,
+		metrics:     newDaemonMetrics(),
+		logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
 	if maxInflight > 0 {
 		s.inflight = make(chan struct{}, maxInflight)
 	}
+	s.metrics.observeServer(s)
 	return s
 }
 
@@ -204,20 +243,36 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/place/batch", s.handlePlaceBatch)
 	mux.HandleFunc("/v1/export", s.handleExport)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	return s.withBackpressure(mux)
+	mux.Handle("/metrics", s.metrics.reg.Handler())
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(s.withBackpressure(mux))
+}
+
+// exemptFromBackpressure lists the observability endpoints that must answer
+// even when the daemon sheds serving load: an orchestrator must see a
+// saturated daemon as alive, and a saturated daemon is exactly when an
+// operator needs its metrics and profiles.
+func exemptFromBackpressure(path string) bool {
+	return path == "/healthz" || path == "/metrics" ||
+		strings.HasPrefix(path, "/debug/pprof/")
 }
 
 // withBackpressure sheds requests beyond the in-flight bound with 503 +
 // Retry-After instead of queueing them behind a saturated CPU: an
 // inference-heavy burst would otherwise pile onto the registry's compute
-// semaphore until every response deadline is blown. The liveness probe is
-// exempt — an orchestrator must see a saturated daemon as alive.
+// semaphore until every response deadline is blown.
 func (s *server) withBackpressure(next http.Handler) http.Handler {
 	if s.inflight == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if exemptFromBackpressure(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -226,6 +281,7 @@ func (s *server) withBackpressure(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
+			s.metrics.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeErrStatus(w, fmt.Errorf("%w: %d requests in flight", mctoperr.ErrSaturated, cap(s.inflight)))
 		}
@@ -721,5 +777,11 @@ func (s *server) validateExport(platform string, opt mctop.Options) error {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.Stats())
+	// One snapshot, taken before any response byte is written: Stats()
+	// reads every counter exactly once in a fixed order (see its doc), so
+	// a response scraped under load is internally consistent and two
+	// successive scrapes never show a counter moving backwards — the same
+	// snapshot discipline the /metrics mirror uses.
+	st := s.reg.Stats()
+	writeJSON(w, http.StatusOK, st)
 }

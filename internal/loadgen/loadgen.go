@@ -1,0 +1,418 @@
+// Package loadgen is a closed-loop load generator for mctopd: N workers
+// each drive one request at a time against a target daemon (the next
+// request is issued only after the previous response completes), so the
+// offered load self-regulates to what the daemon sustains instead of
+// piling an open-loop backlog onto its in-flight bound. The mix of routes
+// (topology / place / batch / stream), the warm-seed pool and the cold-key
+// ratio are configurable, and the run reports throughput and exact
+// p50/p95/p99 latency per route plus SLO pass/fail.
+//
+// The same loop is both the `mctop-bench load` CLI and the integration
+// test rig: cmd/mctopd's tests point it at an in-process httptest fleet
+// and assert on the Report, so the harness that operators run against a
+// deployment is the code path CI exercises on every change.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Route names the four request shapes the generator issues.
+const (
+	RouteTopology = "/v1/topology"
+	RoutePlace    = "/v1/place"
+	RouteBatch    = "/v1/place/batch"
+	RouteStream   = "/v1/place/batch?stream=1"
+)
+
+// Mix weights the request shapes; a zero weight disables the shape. The
+// zero Mix defaults to {Topology: 1, Place: 1}.
+type Mix struct {
+	Topology int
+	Place    int
+	Batch    int
+	Stream   int
+}
+
+func (m Mix) normalized() Mix {
+	if m.Topology <= 0 && m.Place <= 0 && m.Batch <= 0 && m.Stream <= 0 {
+		return Mix{Topology: 1, Place: 1}
+	}
+	return m
+}
+
+func (m Mix) total() int { return m.Topology + m.Place + m.Batch + m.Stream }
+
+// SLO bounds a run: a Report lists every violated bound in SLOFailures.
+// Zero-valued fields are unchecked.
+type SLO struct {
+	// MaxErrorRate bounds errors/requests (transport failures and HTTP
+	// status >= 400). Note the zero value means "unchecked"; pass a tiny
+	// epsilon to demand zero errors.
+	MaxErrorRate float64
+	// P99 bounds the 99th-percentile latency per route (keys are the
+	// Route constants); routes not listed are unchecked.
+	P99 map[string]time.Duration
+	// MinThroughput bounds the overall requests/second from below.
+	MinThroughput float64
+}
+
+// Config parameterizes one run. Target is required; every other zero value
+// has a usable default.
+type Config struct {
+	// Target is the daemon's base URL (e.g. "http://127.0.0.1:8077").
+	Target string
+	// Workers is the closed-loop concurrency (default 4).
+	Workers int
+	// Duration stops the run on the clock (default 10s); MaxRequests, when
+	// > 0, stops it after that many requests, whichever comes first —
+	// tests use MaxRequests for bounded, timing-independent runs.
+	Duration    time.Duration
+	MaxRequests int64
+	// Warmup discards observations made before it elapses, so cold-start
+	// inferences do not dominate the percentiles (default 0).
+	Warmup time.Duration
+	// Mix weights the request shapes (zero value: topology + place).
+	Mix Mix
+	// Platforms to query (default all five; pass explicit names to pin).
+	Platforms []string
+	// Reps is the inference repetitions parameter sent with every request
+	// (0 = daemon default; tests pass small odd values to keep cold
+	// inferences fast).
+	Reps int
+	// WarmSeeds is the size of the warm seed pool: warm requests draw
+	// seeds from [1, WarmSeeds], so after each (platform, seed) pair's
+	// first inference every later request is a cache hit (default 2).
+	WarmSeeds int
+	// ColdRatio is the fraction of requests issued with a never-repeated
+	// seed, forcing a miss through every tier (default 0).
+	ColdRatio float64
+	// Policies for place/batch/stream requests (default RR_CORE, RR_HWC).
+	Policies []string
+	// BatchSize is the number of {policy, threads} items per batch/stream
+	// request (default 8).
+	BatchSize int
+	// MaxThreads bounds the random per-request thread count (default 16).
+	MaxThreads int
+	// Seed makes worker randomness reproducible (default 1).
+	Seed int64
+	// Client overrides the HTTP client (default: one with sane timeouts).
+	Client *http.Client
+	// SLO is checked into Report.SLOFailures after the run.
+	SLO SLO
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if len(c.Platforms) == 0 {
+		c.Platforms = []string{"Ivy", "Westmere", "Haswell", "Opteron", "SPARC"}
+	}
+	if c.WarmSeeds <= 0 {
+		c.WarmSeeds = 2
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"RR_CORE", "RR_HWC"}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	c.Mix = c.Mix.normalized()
+	return c
+}
+
+// obs is one completed request's record.
+type obs struct {
+	route string
+	dur   time.Duration
+	err   bool
+}
+
+// RouteStats is one route's share of a Report.
+type RouteStats struct {
+	Route    string        `json:"route"`
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"`
+	Mean     time.Duration `json:"mean"`
+	P50      time.Duration `json:"p50"`
+	P95      time.Duration `json:"p95"`
+	P99      time.Duration `json:"p99"`
+	Max      time.Duration `json:"max"`
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Target     string        `json:"target"`
+	Workers    int           `json:"workers"`
+	Elapsed    time.Duration `json:"elapsed"`
+	Requests   int64         `json:"requests"`
+	Errors     int64         `json:"errors"`
+	Throughput float64       `json:"throughput_rps"`
+	Routes     []RouteStats  `json:"routes"`
+	// SLOFailures lists every violated SLO bound, empty on a pass.
+	SLOFailures []string `json:"slo_failures,omitempty"`
+}
+
+// OK reports whether the run met every configured SLO bound.
+func (r *Report) OK() bool { return len(r.SLOFailures) == 0 }
+
+// Run drives the closed loop until the configured duration, request bound
+// or ctx ends, then aggregates. The only error return is a config-level
+// one (bad target); request failures are counted, not returned — a
+// saturated daemon shedding load is data, not a harness failure.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: Config.Target is required")
+	}
+	if _, err := url.Parse(cfg.Target); err != nil {
+		return nil, fmt.Errorf("loadgen: bad target: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var (
+		issued   atomic.Int64 // requests started, for the MaxRequests bound
+		coldSeed atomic.Uint64
+		wg       sync.WaitGroup
+		perW     = make([][]obs, cfg.Workers)
+	)
+	coldSeed.Store(1 << 32) // disjoint from any warm pool
+	start := time.Now()
+	warmUntil := start.Add(cfg.Warmup)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			for ctx.Err() == nil {
+				if cfg.MaxRequests > 0 && issued.Add(1) > cfg.MaxRequests {
+					return
+				}
+				o := issueOne(ctx, cfg, rng, &coldSeed)
+				if o.route == "" {
+					return // ctx ended mid-request
+				}
+				if time.Now().After(warmUntil) {
+					perW[id] = append(perW[id], o)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := aggregate(cfg, perW, elapsed)
+	return rep, nil
+}
+
+// issueOne picks a shape by mix weight, issues it, and records wall time.
+// A request cut short by ctx cancellation returns a zero obs (the run is
+// over; a truncated sample would skew the tail).
+func issueOne(ctx context.Context, cfg Config, rng *rand.Rand, coldSeed *atomic.Uint64) obs {
+	platform := cfg.Platforms[rng.Intn(len(cfg.Platforms))]
+	seed := uint64(1 + rng.Intn(cfg.WarmSeeds))
+	if cfg.ColdRatio > 0 && rng.Float64() < cfg.ColdRatio {
+		seed = coldSeed.Add(1)
+	}
+
+	n := rng.Intn(cfg.Mix.total())
+	var route string
+	var req *http.Request
+	var err error
+	switch {
+	case n < cfg.Mix.Topology:
+		route = RouteTopology
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			cfg.Target+"/v1/topology?"+commonQuery(cfg, platform, seed), nil)
+	case n < cfg.Mix.Topology+cfg.Mix.Place:
+		route = RoutePlace
+		q := commonQuery(cfg, platform, seed) +
+			"&policy=" + url.QueryEscape(cfg.Policies[rng.Intn(len(cfg.Policies))]) +
+			"&threads=" + strconv.Itoa(1+rng.Intn(cfg.MaxThreads))
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			cfg.Target+"/v1/place?"+q, nil)
+	default:
+		stream := n >= cfg.Mix.Topology+cfg.Mix.Place+cfg.Mix.Batch
+		route = RouteBatch
+		path := "/v1/place/batch"
+		if stream {
+			route = RouteStream
+			path += "?stream=1"
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.Target+path, bytes.NewReader(batchBody(cfg, rng, platform, seed)))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return obs{route: route, err: true}
+	}
+
+	start := time.Now()
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return obs{}
+		}
+		return obs{route: route, dur: time.Since(start), err: true}
+	}
+	// Drain fully (streamed lines included) so the duration covers the
+	// whole response and the connection is reusable.
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if ctx.Err() != nil && (copyErr != nil || resp.StatusCode >= 400) {
+		return obs{}
+	}
+	return obs{
+		route: route,
+		dur:   time.Since(start),
+		err:   copyErr != nil || resp.StatusCode >= 400,
+	}
+}
+
+func commonQuery(cfg Config, platform string, seed uint64) string {
+	q := "platform=" + url.QueryEscape(platform) + "&seed=" + strconv.FormatUint(seed, 10)
+	if cfg.Reps > 0 {
+		q += "&reps=" + strconv.Itoa(cfg.Reps)
+	}
+	return q
+}
+
+func batchBody(cfg Config, rng *rand.Rand, platform string, seed uint64) []byte {
+	type item struct {
+		Policy  string `json:"policy"`
+		Threads int    `json:"threads"`
+	}
+	body := struct {
+		Platform string  `json:"platform"`
+		Seed     *uint64 `json:"seed"`
+		Reps     int     `json:"reps,omitempty"`
+		Requests []item  `json:"requests"`
+	}{Platform: platform, Seed: &seed, Reps: cfg.Reps}
+	for i := 0; i < cfg.BatchSize; i++ {
+		body.Requests = append(body.Requests, item{
+			Policy:  cfg.Policies[rng.Intn(len(cfg.Policies))],
+			Threads: 1 + rng.Intn(cfg.MaxThreads),
+		})
+	}
+	b, _ := json.Marshal(body)
+	return b
+}
+
+// aggregate merges the per-worker observation slices into the Report —
+// exact percentiles from the full sorted sample, no binning.
+func aggregate(cfg Config, perW [][]obs, elapsed time.Duration) *Report {
+	byRoute := make(map[string][]time.Duration)
+	errs := make(map[string]int64)
+	var total, totalErrs int64
+	for _, ws := range perW {
+		for _, o := range ws {
+			total++
+			if o.err {
+				totalErrs++
+				errs[o.route]++
+			}
+			byRoute[o.route] = append(byRoute[o.route], o.dur)
+		}
+	}
+	rep := &Report{
+		Target:   cfg.Target,
+		Workers:  cfg.Workers,
+		Elapsed:  elapsed,
+		Requests: total,
+		Errors:   totalErrs,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(total) / elapsed.Seconds()
+	}
+	routes := make([]string, 0, len(byRoute))
+	for r := range byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		ds := byRoute[r]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		rep.Routes = append(rep.Routes, RouteStats{
+			Route:    r,
+			Requests: int64(len(ds)),
+			Errors:   errs[r],
+			Mean:     sum / time.Duration(len(ds)),
+			P50:      percentile(ds, 0.50),
+			P95:      percentile(ds, 0.95),
+			P99:      percentile(ds, 0.99),
+			Max:      ds[len(ds)-1],
+		})
+	}
+	rep.SLOFailures = checkSLO(cfg.SLO, rep)
+	return rep
+}
+
+// percentile returns the exact q-quantile of the sorted sample (nearest-
+// rank method).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.9999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func checkSLO(slo SLO, rep *Report) []string {
+	var fails []string
+	if slo.MaxErrorRate > 0 && rep.Requests > 0 {
+		rate := float64(rep.Errors) / float64(rep.Requests)
+		if rate > slo.MaxErrorRate {
+			fails = append(fails, fmt.Sprintf("error rate %.4f > %.4f (%d/%d)",
+				rate, slo.MaxErrorRate, rep.Errors, rep.Requests))
+		}
+	}
+	if slo.MinThroughput > 0 && rep.Throughput < slo.MinThroughput {
+		fails = append(fails, fmt.Sprintf("throughput %.1f rps < %.1f rps",
+			rep.Throughput, slo.MinThroughput))
+	}
+	for _, rs := range rep.Routes {
+		if bound, ok := slo.P99[rs.Route]; ok && bound > 0 && rs.P99 > bound {
+			fails = append(fails, fmt.Sprintf("%s p99 %s > %s", rs.Route, rs.P99, bound))
+		}
+	}
+	return fails
+}

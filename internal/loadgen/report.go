@@ -1,0 +1,118 @@
+package loadgen
+
+// Report rendering: a human table for terminals, and the bench2json
+// document shape for machines — `mctop-bench load -json` output feeds the
+// same cmd/benchdelta comparisons as the microbenchmark JSON, so a load
+// regression gates CI exactly like an ns/op regression.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// String renders the human report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target %s: %d requests in %s (%.1f rps, %d workers, %d errors)\n",
+		r.Target, r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Workers, r.Errors)
+	fmt.Fprintf(&b, "%-26s %8s %7s %10s %10s %10s %10s %10s\n",
+		"route", "reqs", "errs", "mean", "p50", "p95", "p99", "max")
+	for _, rs := range r.Routes {
+		fmt.Fprintf(&b, "%-26s %8d %7d %10s %10s %10s %10s %10s\n",
+			rs.Route, rs.Requests, rs.Errors,
+			round(rs.Mean), round(rs.P50), round(rs.P95), round(rs.P99), round(rs.Max))
+	}
+	if len(r.SLOFailures) == 0 {
+		b.WriteString("SLO: pass\n")
+	} else {
+		for _, f := range r.SLOFailures {
+			fmt.Fprintf(&b, "SLO FAIL: %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}
+
+// benchResult mirrors cmd/bench2json's Result so benchdelta can diff a
+// load run against a previous one by (pkg, name) on ns_per_op.
+type benchResult struct {
+	Pkg     string             `json:"pkg,omitempty"`
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchDocument struct {
+	Results []benchResult `json:"results"`
+}
+
+// WriteBenchJSON emits the run in the bench2json document shape: one
+// result per route named "Load<route>", ns_per_op = mean latency, with
+// the tail and error data as custom metrics.
+func (r *Report) WriteBenchJSON(w io.Writer) error {
+	doc := benchDocument{}
+	for _, rs := range r.Routes {
+		doc.Results = append(doc.Results, benchResult{
+			Pkg:     "cmd/mctop-bench",
+			Name:    "Load" + rs.Route,
+			Iters:   rs.Requests,
+			NsPerOp: float64(rs.Mean.Nanoseconds()),
+			Metrics: map[string]float64{
+				"p50_ms":  ms(rs.P50),
+				"p95_ms":  ms(rs.P95),
+				"p99_ms":  ms(rs.P99),
+				"errors":  float64(rs.Errors),
+				"rps_est": perSec(rs.Requests, r.Elapsed),
+			},
+		})
+	}
+	doc.Results = append(doc.Results, benchResult{
+		Pkg:     "cmd/mctop-bench",
+		Name:    "LoadOverall",
+		Iters:   r.Requests,
+		NsPerOp: weightedMeanNs(r),
+		Metrics: map[string]float64{
+			"rps":    r.Throughput,
+			"errors": float64(r.Errors),
+		},
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func perSec(n int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+func weightedMeanNs(r *Report) float64 {
+	var sum float64
+	var n int64
+	for _, rs := range r.Routes {
+		sum += float64(rs.Mean.Nanoseconds()) * float64(rs.Requests)
+		n += rs.Requests
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,475 @@
+// Package metrics is the daemon's observability core: lock-cheap counters,
+// gauges and fixed-bucket histograms, collected in a Registry that renders
+// the Prometheus text exposition format (version 0.0.4) — what mctopd
+// serves at GET /metrics.
+//
+// Everything on the observation path is a single atomic operation (plus a
+// read-locked map lookup for labeled children), so instrumenting the
+// serving hot path costs nanoseconds and is race-clean by construction:
+// counters and histogram buckets are atomics, and a scrape reads them
+// without stopping writers. The trade-off is the usual one — a scrape is a
+// near-point-in-time snapshot, not a globally consistent cut — but every
+// individual counter is monotone, which is the invariant scrapers (and our
+// monotonicity tests) rely on.
+//
+// The package deliberately implements the exposition subset this repo
+// needs (counter, gauge, histogram; HELP/TYPE headers; escaped label
+// values; cumulative le-buckets with +Inf, _sum and _count) rather than
+// vendoring a client library: the container bakes in no new dependencies.
+// ParseText is the strict reader for that subset, used by the tests that
+// assert /metrics stays valid.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefDurationBuckets spans warm cache hits (microseconds) to cold O(N²)
+// inferences (seconds) — the dynamic range of one mctopd request.
+var DefDurationBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Counter is a monotonically increasing value. Set exists for mirroring an
+// external monotone source (e.g. a store tier's own atomic counters) into
+// the exposition at scrape time; it must never be used to decrease a value
+// between scrapes.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Set overwrites the value — only for mirroring a source that is itself
+// monotone.
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract) with a CAS loop: concurrent Adds never
+// lose updates.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: one atomic per bucket, an
+// atomic sum, no locks. Bounds are upper bounds (le semantics), strictly
+// increasing; an implicit +Inf bucket catches the tail.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly increasing at %d (%g after %g)",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the le bucket the value belongs to; past every
+	// bound it lands in +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds (the Prometheus base unit).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a read of a histogram's state: Cumulative[i] counts
+// observations <= Bounds[i] (the last element, beyond every bound, is the
+// total, so Count == Cumulative[len-1]).
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	Sum        float64
+}
+
+// Snapshot reads the histogram. Each bucket is read atomically; the
+// cumulative totals are computed from that single pass, so they are
+// monotone by construction even while observations land concurrently.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.counts)),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = cum
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// child is one labeled time series of a family (exactly one of c/g/h set).
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one named metric with HELP/TYPE and its labeled children.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+	bounds []float64      // histogram families
+	fn     func() float64 // gauge-func families render this at scrape
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+const labelSep = "\xff" // never appears in valid label values we emit
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	ch, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return ch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.children[key]; ok {
+		return ch
+	}
+	ch = &child{values: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		ch.c = &Counter{}
+	case typeGauge:
+		ch.g = &Gauge{}
+	case typeHistogram:
+		ch.h = newHistogram(f.bounds)
+	}
+	f.children[key] = ch
+	return ch
+}
+
+// Registry holds a fixed set of metric families and renders them. Families
+// register once (duplicate names panic: two subsystems claiming one name is
+// a programming error); observation methods are safe for concurrent use
+// with each other and with WritePrometheus.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+	hooks    []func()
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, typ metricType, labels []string, bounds []float64, fn func() float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...),
+		bounds: bounds, fn: fn,
+		children: make(map[string]*child),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil, nil, nil).child(nil).c
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil, nil, nil).child(nil).g
+}
+
+// NewGaugeFunc registers a gauge whose value is fn(), evaluated at scrape
+// time — for sampling state that already lives elsewhere (queue depths,
+// backoff windows) without a write on every change.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeGauge, nil, nil, fn)
+}
+
+// NewHistogram registers an unlabeled histogram over the given bucket
+// upper bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, typeHistogram, nil, bounds, nil).child(nil).h
+}
+
+// CounterVec is a counter family with labels; With returns the child for
+// one label-value tuple, creating it on first use.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (order matches the
+// label names at registration).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).c }
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, typeCounter, labels, nil, nil)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).g }
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, typeGauge, labels, nil, nil)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).h }
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, typeHistogram, labels, bounds, nil)}
+}
+
+// BeforeScrape registers fn to run at the start of every WritePrometheus —
+// the hook mirrors state (registry tier counters, say) into metrics so the
+// exposition reflects one fresh read per scrape instead of a per-update
+// write path.
+func (r *Registry) BeforeScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every family in registration order as Prometheus
+// text exposition (HELP, TYPE, then samples sorted by label values).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := append([]*family{}, r.families...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"} including extra le pairs for buckets;
+// empty when there are no pairs at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(names[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (f *family) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+		return err
+	}
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	for _, ch := range children {
+		switch f.typ {
+		case typeCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name,
+				labelString(f.labels, ch.values, "", ""), ch.c.Value()); err != nil {
+				return err
+			}
+		case typeGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
+				labelString(f.labels, ch.values, "", ""), formatFloat(ch.g.Value())); err != nil {
+				return err
+			}
+		case typeHistogram:
+			s := ch.h.Snapshot()
+			for i, bound := range s.Bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, ch.values, "le", formatFloat(bound)), s.Cumulative[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, ch.values, "le", "+Inf"), s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, ch.values, "", ""), formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+				labelString(f.labels, ch.values, "", ""), s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fullRegistry builds one registry exercising every metric shape.
+func fullRegistry() (*Registry, func()) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Total operations.")
+	g := r.NewGauge("test_queue_depth", "Current queue depth.")
+	r.NewGaugeFunc("test_sampled", "Sampled at scrape.", func() float64 { return 7.5 })
+	h := r.NewHistogram("test_latency_seconds", "Operation latency.", []float64{0.01, 0.1, 1})
+	cv := r.NewCounterVec("test_requests_total", "Requests by route and code.", "route", "code")
+	hv := r.NewHistogramVec("test_route_seconds", "Latency by route.", []float64{0.001, 1}, "route")
+	gv := r.NewGaugeVec("test_entries", "Entries per tier.", "tier")
+	touch := func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(4)
+		g.Dec()
+		h.Observe(0.005)
+		h.Observe(0.5)
+		h.Observe(50)
+		cv.With("/v1/place", "200").Add(3)
+		cv.With("/v1/place", "404").Inc()
+		cv.With(`/weird"route\n`, "200").Inc()
+		hv.With("/v1/topology").ObserveDuration(20 * time.Millisecond)
+		gv.With("lru").Set(12)
+	}
+	return r, touch
+}
+
+func scrape(t *testing.T, r *Registry) (string, []Sample) {
+	t.Helper()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, body := httpGet(t, ts.URL+"/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, err := ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	return body, samples
+}
+
+func sampleMap(samples []Sample) map[string]float64 {
+	m := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		m[s.Key()] = s.Value
+	}
+	return m
+}
+
+func TestExposition(t *testing.T) {
+	r, touch := fullRegistry()
+	touch()
+	body, samples := scrape(t, r)
+	m := sampleMap(samples)
+
+	for want, value := range map[string]float64{
+		"test_ops_total":   3,
+		"test_queue_depth": 3,
+		"test_sampled":     7.5,
+		`test_requests_total{code="200",route="/v1/place"}`: 3,
+		`test_requests_total{code="404",route="/v1/place"}`: 1,
+		"test_latency_seconds_count":                        3,
+		`test_latency_seconds_bucket{le="0.01"}`:            1,
+		`test_latency_seconds_bucket{le="1"}`:               2,
+		`test_latency_seconds_bucket{le="+Inf"}`:            3,
+		`test_route_seconds_count{route="/v1/topology"}`:    1,
+		`test_entries{tier="lru"}`:                          12,
+	} {
+		if got, ok := m[want]; !ok {
+			t.Errorf("missing sample %s\n%s", want, body)
+		} else if got != value {
+			t.Errorf("%s = %g, want %g", want, got, value)
+		}
+	}
+	if got := m["test_latency_seconds_sum"]; math.Abs(got-50.505) > 1e-9 {
+		t.Errorf("histogram sum = %g, want 50.505", got)
+	}
+
+	// Every family needs its HELP/TYPE pair (ParseText enforces HELP+TYPE
+	// before samples; check the declared types here).
+	for _, decl := range []string{
+		"# TYPE test_ops_total counter",
+		"# TYPE test_queue_depth gauge",
+		"# TYPE test_sampled gauge",
+		"# TYPE test_latency_seconds histogram",
+		"# TYPE test_requests_total counter",
+		"# TYPE test_route_seconds histogram",
+		"# HELP test_ops_total Total operations.",
+	} {
+		if !strings.Contains(body, decl+"\n") {
+			t.Errorf("missing declaration %q", decl)
+		}
+	}
+
+	// Label escaping must round-trip through the parser.
+	found := false
+	for _, s := range samples {
+		if s.Name == "test_requests_total" && s.Labels["route"] == "/weird\"route\\n" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped label value did not round-trip:\n%s", body)
+	}
+}
+
+func TestHistogramBucketsMonotone(t *testing.T) {
+	h := newHistogram(DefDurationBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 100) // 0..10s
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for i, c := range s.Cumulative {
+		if c < prev {
+			t.Fatalf("bucket %d cumulative %d below previous %d", i, c, prev)
+		}
+		prev = c
+	}
+	if s.Count != 1000 || s.Cumulative[len(s.Cumulative)-1] != 1000 {
+		t.Fatalf("count = %d, +Inf = %d, want 1000", s.Count, s.Cumulative[len(s.Cumulative)-1])
+	}
+	// le semantics: a value exactly on a bound lands in that bucket.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(1)
+	if s2 := h2.Snapshot(); s2.Cumulative[0] != 1 {
+		t.Fatalf("observe(1) with bound 1: cumulative %v, want it in le=1", s2.Cumulative)
+	}
+}
+
+func TestBeforeScrapeHook(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_mirrored_total", "Mirrored at scrape.")
+	source := int64(0)
+	r.BeforeScrape(func() { c.Set(source) })
+	source = 41
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_mirrored_total 41\n") {
+		t.Fatalf("hook did not run before render:\n%s", b.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	mustPanic("duplicate name", func() { r.NewGauge("dup_total", "x") })
+	mustPanic("invalid name", func() { r.NewCounter("bad-name", "x") })
+	mustPanic("reserved label", func() { r.NewCounterVec("c_total", "x", "le") })
+	mustPanic("label arity", func() { r.NewCounterVec("d_total", "x", "a").With("1", "2") })
+	mustPanic("unsorted buckets", func() { r.NewHistogram("h_seconds", "x", []float64{1, 1}) })
+}
+
+func TestParseTextRejectsInvalid(t *testing.T) {
+	for name, doc := range map[string]string{
+		"sample without HELP/TYPE": "orphan_total 3\n",
+		"bad value":                "# HELP a x\n# TYPE a counter\na notanumber\n",
+		"unterminated labels":      "# HELP a x\n# TYPE a counter\na{b=\"c 3\n",
+		"garbage comment":          "# WAT a\n",
+		"non-monotone buckets": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"+Inf != count": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+	} {
+		if _, err := ParseText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}

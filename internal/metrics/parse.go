@@ -1,0 +1,325 @@
+package metrics
+
+// ParseText is the strict reader for the exposition subset this package
+// emits. It exists so the tests that guard GET /metrics (and the load
+// harness's stats-consistency checks) validate real format invariants —
+// every line parses, every sample's family carries HELP and TYPE,
+// histogram buckets are cumulative and end in +Inf == _count — instead of
+// grepping for substrings.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	// Name is the full sample name, including a histogram's _bucket/_sum/
+	// _count suffix.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample's identity — name plus sorted label pairs — for
+// map lookups in tests.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, s.Labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseText parses and validates a text exposition. It returns every
+// sample, or an error naming the first offending line. Beyond line syntax
+// it checks the structural invariants:
+//
+//   - each family declares # HELP and # TYPE before its first sample;
+//   - histogram buckets per series are cumulative (non-decreasing in le
+//     order), the +Inf bucket is present, and it equals the _count sample.
+func ParseText(r io.Reader) ([]Sample, error) {
+	fams := make(map[string]*familyMeta)
+	var samples []Sample
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			f := fams[name]
+			if f == nil {
+				f = &familyMeta{}
+				fams[name] = f
+			}
+			switch fields[1] {
+			case "HELP":
+				f.help = true
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = fields[3]
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := s.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suffix)
+			if base != s.Name {
+				if f, ok := fams[base]; ok && f.typ == "histogram" {
+					fam = base
+				}
+				break
+			}
+		}
+		f, ok := fams[fam]
+		if !ok || !f.help || f.typ == "" {
+			return nil, fmt.Errorf("line %d: sample %s lacks preceding # HELP and # TYPE", lineNo, s.Name)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkHistograms(samples, fams); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value on %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !nameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, escaped := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\' && inQuote:
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set on %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp field would be a second token; we never emit one.
+	val := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		val = rest[:i]
+	}
+	var err error
+	if val == "+Inf" {
+		s.Value = math.Inf(1)
+	} else if s.Value, err = strconv.ParseFloat(val, 64); err != nil {
+		return s, fmt.Errorf("bad value %q: %v", val, err)
+	}
+	return s, nil
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair without '=' in %q", s)
+		}
+		name := s[:eq]
+		if !labelRE.MatchString(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s: unquoted value", name)
+		}
+		var val strings.Builder
+		i := 1
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return fmt.Errorf("label %s: bad escape \\%c", name, s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) {
+			return fmt.Errorf("label %s: unterminated value", name)
+		}
+		if _, dup := into[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		into[name] = val.String()
+		s = s[i+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if len(s) > 0 {
+			return fmt.Errorf("trailing garbage %q after label %s", s, name)
+		}
+	}
+	return nil
+}
+
+type familyMeta struct {
+	help bool
+	typ  string
+}
+
+// checkHistograms verifies cumulative bucket monotonicity and
+// +Inf == _count for every histogram series.
+func checkHistograms(samples []Sample, fams map[string]*familyMeta) error {
+	type series struct {
+		buckets map[float64]float64 // le -> cumulative count
+		count   float64
+		hasCnt  bool
+	}
+	all := make(map[string]*series)
+	seriesKey := func(base string, labels map[string]string) string {
+		s := Sample{Name: base, Labels: map[string]string{}}
+		for k, v := range labels {
+			if k != "le" {
+				s.Labels[k] = v
+			}
+		}
+		return s.Key()
+	}
+	for _, s := range samples {
+		base, isBucket := strings.CutSuffix(s.Name, "_bucket")
+		cntBase, isCount := strings.CutSuffix(s.Name, "_count")
+		switch {
+		case isBucket:
+			if f, ok := fams[base]; !ok || f.typ != "histogram" {
+				continue
+			}
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", base)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = math.Inf(1)
+			} else {
+				var err error
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("histogram %s: bad le %q", base, le)
+				}
+			}
+			k := seriesKey(base, s.Labels)
+			sr := all[k]
+			if sr == nil {
+				sr = &series{buckets: map[float64]float64{}}
+				all[k] = sr
+			}
+			sr.buckets[bound] = s.Value
+		case isCount:
+			if f, ok := fams[cntBase]; !ok || f.typ != "histogram" {
+				continue
+			}
+			k := seriesKey(cntBase, s.Labels)
+			sr := all[k]
+			if sr == nil {
+				sr = &series{buckets: map[float64]float64{}}
+				all[k] = sr
+			}
+			sr.count, sr.hasCnt = s.Value, true
+		}
+	}
+	for key, sr := range all {
+		bounds := make([]float64, 0, len(sr.buckets))
+		for b := range sr.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+			return fmt.Errorf("histogram series %s: no +Inf bucket", key)
+		}
+		prev := -1.0
+		for _, b := range bounds {
+			if c := sr.buckets[b]; c < prev {
+				return fmt.Errorf("histogram series %s: bucket le=%g count %g below previous %g",
+					key, b, c, prev)
+			} else {
+				prev = c
+			}
+		}
+		if !sr.hasCnt {
+			return fmt.Errorf("histogram series %s: missing _count", key)
+		}
+		if inf := sr.buckets[math.Inf(1)]; inf != sr.count {
+			return fmt.Errorf("histogram series %s: +Inf bucket %g != _count %g", key, inf, sr.count)
+		}
+	}
+	return nil
+}

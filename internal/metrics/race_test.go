@@ -1,0 +1,102 @@
+package metrics
+
+// The concurrency contract: every observation is atomic and scrapes run
+// concurrently with observers — `go test -race ./internal/metrics/` is a
+// CI step. These tests are the workload that race detector runs over.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// exposition renders the registry to a reader for direct ParseText checks.
+func exposition(t *testing.T, r *Registry) *strings.Reader {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return strings.NewReader(b.String())
+}
+
+func httpGet(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r, touch := fullRegistry()
+	const (
+		writers = 8
+		rounds  = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				touch()
+			}
+		}()
+	}
+	// Scrape continuously while writers hammer the registry; every scrape
+	// must stay a valid exposition (cumulative buckets monotone, +Inf ==
+	// _count) even mid-write.
+	for i := 0; i < 50; i++ {
+		if _, err := ParseText(exposition(t, r)); err != nil {
+			t.Fatalf("scrape %d invalid under concurrent writes: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	_, samples := scrape(t, r)
+	m := sampleMap(samples)
+	wantOps := float64(writers * rounds * 3) // Inc + Add(2) per touch
+	if got := m["test_ops_total"]; got != wantOps {
+		t.Errorf("test_ops_total = %g, want %g (lost updates)", got, wantOps)
+	}
+	wantCount := float64(writers * rounds * 3) // three Observes per touch
+	if got := m["test_latency_seconds_count"]; got != wantCount {
+		t.Errorf("histogram count = %g, want %g (lost observations)", got, wantCount)
+	}
+}
+
+func TestConcurrentVecChildCreation(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("test_children_total", "x", "worker")
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			names := []string{"a", "b", "c", "d"}
+			for i := 0; i < 200; i++ {
+				cv.With(names[(id+i)%len(names)]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	_, samples := scrape(t, r)
+	for _, s := range samples {
+		if s.Name == "test_children_total" {
+			total += s.Value
+		}
+	}
+	if total != 16*200 {
+		t.Errorf("summed children = %g, want %d", total, 16*200)
+	}
+}

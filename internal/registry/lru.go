@@ -18,7 +18,11 @@ type LRU struct {
 	misses    atomic.Int64
 	puts      atomic.Int64
 	evictions atomic.Int64
+	kinds     kindCounters
 }
+
+// TierName implements TierNamer.
+func (l *LRU) TierName() string { return "lru" }
 
 type lruShard struct {
 	mu      sync.Mutex
@@ -78,19 +82,21 @@ func (l *LRU) shardOf(key string) *lruShard {
 
 // Get implements Store. Kinds share one namespace: keys are already
 // kind-prefixed by the registry.
-func (l *LRU) Get(_ Kind, key string) (any, bool) {
+func (l *LRU) Get(kind Kind, key string) (any, bool) {
 	s := l.shardOf(key)
 	s.mu.Lock()
 	el, ok := s.entries[key]
 	if !ok {
 		s.mu.Unlock()
 		l.misses.Add(1)
+		l.kinds.miss(kind)
 		return nil, false
 	}
 	s.order.MoveToFront(el)
 	v := el.Value.(*lruEntry).val
 	s.mu.Unlock()
 	l.hits.Add(1)
+	l.kinds.hit(kind)
 	return v, true
 }
 
@@ -110,16 +116,24 @@ func (l *LRU) Put(kind Kind, key string, val any) {
 	el := s.order.PushFront(&lruEntry{key: key, kind: kind, val: val})
 	s.entries[key] = el
 	evicted := int64(0)
+	var evictedKinds [2]int64
 	for s.order.Len() > s.cap {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
-		delete(s.entries, oldest.Value.(*lruEntry).key)
+		e := oldest.Value.(*lruEntry)
+		delete(s.entries, e.key)
+		evictedKinds[kindIndex(e.kind)]++
 		evicted++
 	}
 	s.mu.Unlock()
 	l.puts.Add(1)
 	if evicted > 0 {
 		l.evictions.Add(evicted)
+		for i, n := range evictedKinds {
+			if n > 0 {
+				l.kinds.evictions[i].Add(n)
+			}
+		}
 	}
 }
 
@@ -167,5 +181,6 @@ func (l *LRU) Stats() []StoreStats {
 		}
 		s.mu.Unlock()
 	}
+	st.Kinds = l.kinds.snapshot(st.Topologies, st.Placements)
 	return []StoreStats{st}
 }

@@ -1,0 +1,71 @@
+package registry
+
+// Request-scoped and registry-scoped observability hooks. The registry is
+// the layer that knows which tier answered a lookup and how long a compute
+// ran; servers (mctopd) attach here to label request logs and feed
+// duration histograms without the registry importing any metrics package.
+
+import (
+	"context"
+	"time"
+)
+
+// Served is the per-request attribution record a server threads through
+// the context: the registry fills Tier with the name of the store tier
+// that answered ("lru", "spool", "remote", …), "computed" when the value
+// was computed by this call, or "coalesced" when the call joined another
+// caller's in-flight computation. It is written by the request's own
+// goroutine during the lookup; read it only after the registry call
+// returns.
+type Served struct {
+	Tier string
+}
+
+type servedCtxKey struct{}
+
+// ContextWithServed derives a context carrying a fresh Served record for
+// the registry to fill.
+func ContextWithServed(ctx context.Context) (context.Context, *Served) {
+	sv := &Served{}
+	return context.WithValue(ctx, servedCtxKey{}, sv), sv
+}
+
+// servedFrom returns the context's Served record, if any.
+func servedFrom(ctx context.Context) *Served {
+	sv, _ := ctx.Value(servedCtxKey{}).(*Served)
+	return sv
+}
+
+func setServed(ctx context.Context, tier string) {
+	if sv := servedFrom(ctx); sv != nil {
+		sv.Tier = tier
+	}
+}
+
+// Observer receives compute-duration callbacks: OnInference after every
+// executed topology inference, OnPlacement after every computed placement
+// (cache hits invoke neither). Callbacks run on the computing goroutine
+// and must be cheap and concurrency-safe — a histogram observation, not a
+// syscall.
+type Observer struct {
+	OnInference func(d time.Duration, err error)
+	OnPlacement func(d time.Duration, err error)
+}
+
+// Instrument installs (or replaces) the registry's observer. Safe to call
+// while the registry serves; a nil observer detaches.
+func (r *Registry) Instrument(o *Observer) {
+	r.observer.Store(o)
+}
+
+func (r *Registry) observeInference(start time.Time, err error) {
+	if o := r.observer.Load(); o != nil && o.OnInference != nil {
+		o.OnInference(time.Since(start), err)
+	}
+}
+
+func (r *Registry) observePlacement(start time.Time, err error) {
+	if o := r.observer.Load(); o != nil && o.OnPlacement != nil {
+		o.OnPlacement(time.Since(start), err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mctopalg"
 	"repro/internal/place"
@@ -101,6 +102,10 @@ type Registry struct {
 	misses     atomic.Int64
 	inferences atomic.Int64
 	placements atomic.Int64
+
+	// observer receives compute-duration callbacks (observe.go); nil when
+	// nothing is attached.
+	observer atomic.Pointer[Observer]
 }
 
 // flightShard is one lock stripe of the singleflight table, independent of
@@ -178,10 +183,28 @@ func (r *Registry) flightOf(key string) *flightShard {
 // cancellation: they retry the lookup, and one of them becomes the next
 // owner — one flaky client must not fail every concurrent miss on the key.
 func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(context.Context) (any, error)) (val any, hit bool, err error) {
+	// getStore resolves through the store, attributing the serving tier
+	// when the store can name it (Tiered and the builtin tiers can) — the
+	// record behind request logs' tier field and the served-by-tier
+	// counters.
+	getStore := func() (any, bool) {
+		if tg, ok := r.store.(TierGetter); ok {
+			v, tier, ok := tg.GetWithTier(kind, key)
+			if ok {
+				setServed(ctx, tier)
+			}
+			return v, ok
+		}
+		v, ok := r.store.Get(kind, key)
+		if ok {
+			setServed(ctx, tierNameOf(r.store))
+		}
+		return v, ok
+	}
 	// Fast path: a store hit never touches the singleflight locks. On a
 	// tiered store this may decode from a persistent tier — still orders
 	// of magnitude cheaper than computing.
-	if v, ok := r.store.Get(kind, key); ok {
+	if v, ok := getStore(); ok {
 		r.hits.Add(1)
 		return v, true, nil
 	}
@@ -194,7 +217,7 @@ func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(conte
 		// Re-check the store under the flight lock: an owner publishes its
 		// result to the store before clearing the in-flight slot, so a miss
 		// observed before the lock may have landed by now.
-		if v, ok := r.store.Get(kind, key); ok {
+		if v, ok := getStore(); ok {
 			f.mu.Unlock()
 			// This caller registered a miss; the entry appearing now does
 			// not make the call a hit.
@@ -207,6 +230,9 @@ func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(conte
 				if w.err != nil && ctx.Err() == nil &&
 					(errors.Is(w.err, context.Canceled) || errors.Is(w.err, context.DeadlineExceeded)) {
 					continue // the owner's ctx fired, not ours: retry
+				}
+				if w.err == nil {
+					setServed(ctx, "coalesced")
 				}
 				return w.val, false, w.err
 			case <-ctx.Done():
@@ -241,6 +267,12 @@ func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(conte
 
 	c.val, c.err = fn(ctx)
 	completed = true
+	if c.err == nil {
+		// Overrides any tier a nested lookup attributed (a placement
+		// compute hits the store for its topology): the request's answer
+		// was computed here.
+		setServed(ctx, "computed")
+	}
 	return c.val, false, c.err
 }
 
@@ -331,7 +363,10 @@ func (r *Registry) LookupTopologyContext(ctx context.Context, platform string, s
 			}
 		}
 		r.inferences.Add(1)
-		return r.infer(ctx, platform, seed, opt)
+		start := time.Now()
+		t, err := r.infer(ctx, platform, seed, opt)
+		r.observeInference(start, err)
+		return t, err
 	})
 	if err != nil {
 		return nil, hit, err
@@ -395,7 +430,10 @@ func (r *Registry) PlaceWithContext(ctx context.Context, platform string, seed u
 			return nil, err
 		}
 		r.placements.Add(1)
-		return place.NewFrom(t, pol, place.Options{NThreads: nThreads})
+		start := time.Now()
+		pl, err := place.NewFrom(t, pol, place.Options{NThreads: nThreads})
+		r.observePlacement(start, err)
+		return pl, err
 	})
 	if err != nil {
 		return nil, err
@@ -449,7 +487,10 @@ func (r *Registry) PlaceBatchContext(ctx context.Context, platform string, seed 
 		nThreads := req.NThreads
 		v, _, err := r.get(ctx, KindPlacement, placeKey(tk, pol, nThreads), func(context.Context) (any, error) {
 			r.placements.Add(1)
-			return place.NewFrom(t, pol, place.Options{NThreads: nThreads})
+			start := time.Now()
+			pl, err := place.NewFrom(t, pol, place.Options{NThreads: nThreads})
+			r.observePlacement(start, err)
+			return pl, err
 		})
 		if err != nil {
 			out[i].Err = err
@@ -460,18 +501,27 @@ func (r *Registry) PlaceBatchContext(ctx context.Context, platform string, seed 
 	return out, nil
 }
 
-// Stats snapshots the registry's counters.
+// Stats snapshots the registry's counters. The snapshot is not one atomic
+// cut — counters keep advancing while it is taken — but every field is read
+// exactly once, in a fixed order (registry counters first, then the tier
+// snapshots, then residency), so each individual counter is monotonically
+// non-decreasing across successive snapshots and a scraper diffing two
+// snapshots never sees a counter move backwards.
 func (r *Registry) Stats() Stats {
+	hits := r.hits.Load()
+	misses := r.misses.Load()
+	inferences := r.inferences.Load()
+	placements := r.placements.Load()
 	tiers := r.store.Stats()
 	var evictions int64
 	for _, t := range tiers {
 		evictions += t.Evictions
 	}
 	return Stats{
-		Hits:       r.hits.Load(),
-		Misses:     r.misses.Load(),
-		Inferences: r.inferences.Load(),
-		Placements: r.placements.Load(),
+		Hits:       hits,
+		Misses:     misses,
+		Inferences: inferences,
+		Placements: placements,
 		Evictions:  evictions,
 		Entries:    r.store.Len(),
 		Tiers:      tiers,

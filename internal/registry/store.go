@@ -1,5 +1,7 @@
 package registry
 
+import "sync/atomic"
+
 // The tiered topology store. The registry's cache sits behind the Store
 // interface so deployments can compose storage tiers: the default is the
 // in-memory sharded LRU (lru.go); a daemon that must survive restarts
@@ -68,6 +70,79 @@ type StoreStats struct {
 	Entries    int `json:"entries"`
 	Topologies int `json:"topologies"`
 	Placements int `json:"placements"`
+	// Kinds breaks the Get/eviction counters down per entry kind
+	// ("topology", "placement") — what per-kind hit-ratio dashboards
+	// consume via mctopd's /metrics.
+	Kinds map[string]KindStats `json:"kinds,omitempty"`
+}
+
+// KindStats is one entry kind's share of a tier's counters.
+type KindStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// kindCounters is the shared per-kind atomic counter block store tiers
+// embed: one slot per Kind, observed on the Get path with a single atomic
+// add each.
+type kindCounters struct {
+	hits      [2]atomic.Int64
+	misses    [2]atomic.Int64
+	evictions [2]atomic.Int64
+}
+
+func kindIndex(k Kind) int {
+	if k == KindPlacement {
+		return 1
+	}
+	return 0
+}
+
+func (c *kindCounters) hit(k Kind)   { c.hits[kindIndex(k)].Add(1) }
+func (c *kindCounters) miss(k Kind)  { c.misses[kindIndex(k)].Add(1) }
+func (c *kindCounters) evict(k Kind) { c.evictions[kindIndex(k)].Add(1) }
+
+// snapshot fills StoreStats.Kinds (entries counts are the caller's, since
+// only the store knows its residency).
+func (c *kindCounters) snapshot(topoEntries, placeEntries int) map[string]KindStats {
+	return map[string]KindStats{
+		KindTopology.String(): {
+			Hits:      c.hits[0].Load(),
+			Misses:    c.misses[0].Load(),
+			Evictions: c.evictions[0].Load(),
+			Entries:   topoEntries,
+		},
+		KindPlacement.String(): {
+			Hits:      c.hits[1].Load(),
+			Misses:    c.misses[1].Load(),
+			Evictions: c.evictions[1].Load(),
+			Entries:   placeEntries,
+		},
+	}
+}
+
+// TierNamer is the optional Store extension naming the tier ("lru",
+// "spool", "remote") — what served-by-tier request logs and metrics label
+// their samples with.
+type TierNamer interface {
+	TierName() string
+}
+
+// tierNameOf falls back to "store" for tiers that do not name themselves.
+func tierNameOf(s Store) string {
+	if n, ok := s.(TierNamer); ok {
+		return n.TierName()
+	}
+	return "store"
+}
+
+// TierGetter is the optional Store extension reporting which tier served a
+// hit. Tiered implements it; the registry prefers it when present so each
+// request can be attributed (request logs, served-by-tier counters).
+type TierGetter interface {
+	GetWithTier(kind Kind, key string) (val any, tier string, ok bool)
 }
 
 // Flusher is the optional Store extension for tiers with buffered writes:
@@ -108,15 +183,22 @@ func NewTiered(tiers ...Store) *Tiered {
 
 // Get implements Store: read-through with promotion.
 func (t *Tiered) Get(kind Kind, key string) (any, bool) {
+	v, _, ok := t.GetWithTier(kind, key)
+	return v, ok
+}
+
+// GetWithTier implements TierGetter: Get plus the name of the tier that
+// served the hit.
+func (t *Tiered) GetWithTier(kind Kind, key string) (any, string, bool) {
 	for i, s := range t.tiers {
 		if v, ok := s.Get(kind, key); ok {
 			for j := 0; j < i; j++ {
 				t.tiers[j].Put(kind, key, v)
 			}
-			return v, true
+			return v, tierNameOf(s), true
 		}
 	}
-	return nil, false
+	return nil, "", false
 }
 
 // Put implements Store: write-through to every tier.

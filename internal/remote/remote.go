@@ -95,6 +95,25 @@ type Remote struct {
 	misses  atomic.Int64
 	errors  atomic.Int64
 	fetches atomic.Int64 // upstream requests actually issued
+
+	kindHits   [2]atomic.Int64
+	kindMisses [2]atomic.Int64
+
+	// observe, when set, receives one callback per upstream fetch attempt
+	// with its wall duration and outcome ("ok", "origin_fault",
+	// "key_fault") — the feed behind mctopd's per-origin fetch-latency
+	// histogram. Runs on the fetching goroutine; must be cheap.
+	observe func(d time.Duration, outcome string)
+}
+
+// TierName implements registry's TierNamer extension.
+func (r *Remote) TierName() string { return "remote" }
+
+func kindIndex(k registry.Kind) int {
+	if k == registry.KindPlacement {
+		return 1
+	}
+	return 0
 }
 
 // call is one in-flight upstream fetch; concurrent Gets for the key wait
@@ -136,6 +155,16 @@ func WithHTTPClient(c *http.Client) Option {
 	return func(r *Remote) { r.client = c }
 }
 
+// WithObserver attaches a per-fetch callback: one call per upstream fetch
+// attempt with its wall duration and outcome — "ok", "origin_fault" (dial
+// error, timeout, 5xx: the failures that open the backoff window) or
+// "key_fault" (4xx, undecodable body: negative-cached per key). The
+// callback runs on the fetching goroutine and must be cheap and
+// concurrency-safe.
+func WithObserver(fn func(d time.Duration, outcome string)) Option {
+	return func(r *Remote) { r.observe = fn }
+}
+
 // New creates a remote tier reading through the mctopd at base (e.g.
 // "http://origin:8077"). The origin's availability is probed lazily — a
 // Remote over an unreachable origin constructs fine and simply misses.
@@ -171,6 +200,7 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 	if now.Before(r.down) || now.Before(r.neg[key]) {
 		r.mu.Unlock()
 		r.misses.Add(1)
+		r.kindMisses[kindIndex(kind)].Add(1)
 		return nil, false
 	}
 	if c, ok := r.inflight[key]; ok {
@@ -178,16 +208,29 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 		<-c.done
 		if c.ok {
 			r.hits.Add(1)
+			r.kindHits[kindIndex(kind)].Add(1)
 			return c.val, true
 		}
 		r.misses.Add(1)
+		r.kindMisses[kindIndex(kind)].Add(1)
 		return nil, false
 	}
 	c := &call{done: make(chan struct{})}
 	r.inflight[key] = c
 	r.mu.Unlock()
 
+	start := time.Now()
 	v, err, originFault := r.fetch(kind, key)
+	if r.observe != nil {
+		outcome := "ok"
+		switch {
+		case err != nil && originFault:
+			outcome = "origin_fault"
+		case err != nil:
+			outcome = "key_fault"
+		}
+		r.observe(time.Since(start), outcome)
+	}
 	now = r.now()
 	r.mu.Lock()
 	delete(r.inflight, key)
@@ -234,9 +277,11 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 		r.logf("fetching %q: %v (degrading to a miss)", key, err)
 		r.errors.Add(1)
 		r.misses.Add(1)
+		r.kindMisses[kindIndex(kind)].Add(1)
 		return nil, false
 	}
 	r.hits.Add(1)
+	r.kindHits[kindIndex(kind)].Add(1)
 	return v, true
 }
 
@@ -352,7 +397,41 @@ func (r *Remote) Stats() []registry.StoreStats {
 		Hits:   r.hits.Load(),
 		Misses: r.misses.Load(),
 		Errors: r.errors.Load(),
+		Kinds: map[string]registry.KindStats{
+			registry.KindTopology.String(): {
+				Hits:   r.kindHits[0].Load(),
+				Misses: r.kindMisses[0].Load(),
+			},
+			registry.KindPlacement.String(): {
+				Hits:   r.kindHits[1].Load(),
+				Misses: r.kindMisses[1].Load(),
+			},
+		},
 	}}
+}
+
+// BackoffState is a point-in-time snapshot of the tier's failure-handling
+// machinery, exposed for /metrics gauges.
+type BackoffState struct {
+	// DownUntil is the end of the current origin-level backoff window
+	// (zero when the origin is not being backed off).
+	DownUntil time.Time
+	// ConsecutiveFails counts origin-level failures since the last
+	// successful fetch (the backoff exponent).
+	ConsecutiveFails int
+	// NegativeKeys is the number of per-key negative-cache entries.
+	NegativeKeys int
+}
+
+// Backoff snapshots the backoff/negative-cache state.
+func (r *Remote) Backoff() BackoffState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return BackoffState{
+		DownUntil:        r.down,
+		ConsecutiveFails: r.fails,
+		NegativeKeys:     len(r.neg),
+	}
 }
 
 // Fetches reports how many upstream requests were actually issued —

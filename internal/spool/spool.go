@@ -85,6 +85,25 @@ type Spool struct {
 	puts      atomic.Int64
 	errors    atomic.Int64
 	evictions atomic.Int64
+	kinds     kindCounters
+}
+
+// TierName implements registry's TierNamer extension.
+func (s *Spool) TierName() string { return "spool" }
+
+// kindCounters mirrors the per-kind breakdown the in-memory tier keeps, so
+// /metrics can chart hit ratios per entry kind for the disk tier too.
+type kindCounters struct {
+	hits      [2]atomic.Int64
+	misses    [2]atomic.Int64
+	evictions [2]atomic.Int64
+}
+
+func kindIndex(k registry.Kind) int {
+	if k == registry.KindPlacement {
+		return 1
+	}
+	return 0
 }
 
 // writeOp is one queued write, or a flush barrier (flush != nil).
@@ -266,6 +285,7 @@ func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
 	s.mu.Unlock()
 	if !ok || k != kind {
 		s.misses.Add(1)
+		s.kinds.misses[kindIndex(kind)].Add(1)
 		return nil, false
 	}
 	var (
@@ -284,9 +304,11 @@ func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
 		s.logf("skipping %s: %v", fileName(key, extOf(kind)), err)
 		s.errors.Add(1)
 		s.misses.Add(1)
+		s.kinds.misses[kindIndex(kind)].Add(1)
 		return nil, false
 	}
 	s.hits.Add(1)
+	s.kinds.hits[kindIndex(kind)].Add(1)
 	return v, true
 }
 
@@ -475,6 +497,20 @@ func (s *Spool) Stats() []registry.StoreStats {
 		st.Entries++
 	}
 	s.mu.Unlock()
+	st.Kinds = map[string]registry.KindStats{
+		registry.KindTopology.String(): {
+			Hits:      s.kinds.hits[0].Load(),
+			Misses:    s.kinds.misses[0].Load(),
+			Evictions: s.kinds.evictions[0].Load(),
+			Entries:   st.Topologies,
+		},
+		registry.KindPlacement.String(): {
+			Hits:      s.kinds.hits[1].Load(),
+			Misses:    s.kinds.misses[1].Load(),
+			Evictions: s.kinds.evictions[1].Load(),
+			Entries:   st.Placements,
+		},
+	}
 	return []registry.StoreStats{st}
 }
 
@@ -585,6 +621,7 @@ func (s *Spool) evictLocked(key string, kind registry.Kind, size int64, mtime ti
 	}
 	delete(s.entries, key)
 	s.evictions.Add(1)
+	s.kinds.evictions[kindIndex(kind)].Add(1)
 	s.logf("evicted %s (%d bytes, mtime %s)", name, size, mtime.Format(time.RFC3339))
 	s.lastMu.Lock()
 	if s.lastKey == key {
