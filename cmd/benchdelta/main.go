@@ -11,6 +11,11 @@
 // gate: the exit code is 1 when any benchmark regressed past it, so CI can
 // flip the warning into a real regression gate by changing one flag once
 // enough BENCH_ci.json history exists to pick a trustworthy threshold.
+//
+// -gate-metric gates a custom metric instead of latency: `-gate-metric
+// errors` fails (exit 1) when any matched benchmark's "errors" metric grew
+// over the previous run. Unlike ns/op, custom metrics gate on any increase
+// — they are counters with a correct value (usually 0), not noisy timings.
 package main
 
 import (
@@ -25,9 +30,10 @@ import (
 // Result mirrors cmd/bench2json's per-benchmark record; fields the delta
 // does not use are ignored by the decoder.
 type Result struct {
-	Pkg     string  `json:"pkg"`
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Pkg     string             `json:"pkg"`
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 type document struct {
@@ -38,9 +44,11 @@ func main() {
 	warnPct := flag.Float64("warn-pct", 20, "flag benchmarks slower than this percentage as WARN")
 	maxRegressPct := flag.Float64("max-regress-pct", 0,
 		"fail (exit 1) when any benchmark regresses more than this percentage (<= 0 disables the gate)")
+	gateMetric := flag.String("gate-metric", "",
+		"fail (exit 1) when any matched benchmark's named custom metric (e.g. errors) grew over the previous run (empty disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdelta [-warn-pct N] [-max-regress-pct N] previous.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-warn-pct N] [-max-regress-pct N] [-gate-metric NAME] previous.json current.json")
 		os.Exit(2)
 	}
 	prev, err := load(flag.Arg(0))
@@ -54,10 +62,44 @@ func main() {
 		os.Exit(2)
 	}
 	worst := report(os.Stdout, prev, cur, *warnPct)
+	fail := false
 	if *maxRegressPct > 0 && worst > *maxRegressPct {
 		fmt.Printf("\nFAIL: worst regression %+.1f%% exceeds -max-regress-pct %.0f%%\n", worst, *maxRegressPct)
+		fail = true
+	}
+	if *gateMetric != "" {
+		for _, v := range metricRegressions(prev, cur, *gateMetric) {
+			fmt.Printf("\nFAIL: %s metric %q grew %g -> %g\n", v.key, *gateMetric, v.prev, v.cur)
+			fail = true
+		}
+	}
+	if fail {
 		os.Exit(1)
 	}
+}
+
+// metricViolation is one benchmark whose gated custom metric grew.
+type metricViolation struct {
+	key       string
+	prev, cur float64
+}
+
+// metricRegressions lists the matched benchmarks whose named custom metric
+// grew over the previous run, sorted by key. An absent metric counts as 0
+// on either side; benchmarks only one side has never count.
+func metricRegressions(prev, cur map[string]Result, metric string) []metricViolation {
+	var out []metricViolation
+	for k, c := range cur {
+		p, ok := prev[k]
+		if !ok {
+			continue
+		}
+		if cv, pv := c.Metrics[metric], p.Metrics[metric]; cv > pv {
+			out = append(out, metricViolation{key: k, prev: pv, cur: cv})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
 }
 
 func load(path string) (map[string]Result, error) {

@@ -99,6 +99,52 @@ func TestWorstRegression(t *testing.T) {
 	}
 }
 
+// TestMetricGate: -gate-metric fails on any growth of the named custom
+// metric across matched benchmarks, ignores other metrics, and never
+// counts new or vanished benchmarks.
+func TestMetricGate(t *testing.T) {
+	parse := func(doc string) map[string]Result {
+		path := filepath.Join(t.TempDir(), "doc.json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	prev := parse(`{"results": [
+	  {"pkg": "cmd/mctop-bench", "name": "LoadOverall", "ns_per_op": 100, "metrics": {"errors": 0, "rps": 500}},
+	  {"pkg": "cmd/mctop-bench", "name": "Load/v1/place", "ns_per_op": 50, "metrics": {"errors": 2}},
+	  {"pkg": "cmd/mctop-bench", "name": "Gone", "ns_per_op": 1, "metrics": {"errors": 0}}
+	]}`)
+	cur := parse(`{"results": [
+	  {"pkg": "cmd/mctop-bench", "name": "LoadOverall", "ns_per_op": 90, "metrics": {"errors": 3, "rps": 200}},
+	  {"pkg": "cmd/mctop-bench", "name": "Load/v1/place", "ns_per_op": 60, "metrics": {"errors": 1}},
+	  {"pkg": "cmd/mctop-bench", "name": "New", "ns_per_op": 1, "metrics": {"errors": 9}}
+	]}`)
+
+	got := metricRegressions(prev, cur, "errors")
+	if len(got) != 1 {
+		t.Fatalf("violations = %+v, want exactly LoadOverall (errors 0 -> 3)", got)
+	}
+	if got[0].key != "cmd/mctop-bench/LoadOverall" || got[0].prev != 0 || got[0].cur != 3 {
+		t.Fatalf("violation = %+v, want LoadOverall 0 -> 3", got[0])
+	}
+	// rps fell but is not the gated metric; an absent metric is 0.
+	if v := metricRegressions(prev, cur, "rps"); len(v) != 0 {
+		t.Fatalf("rps fell yet gated: %+v", v)
+	}
+	if v := metricRegressions(prev, cur, "absent"); len(v) != 0 {
+		t.Fatalf("absent metric gated: %+v", v)
+	}
+	// Identical runs gate clean.
+	if v := metricRegressions(cur, cur, "errors"); len(v) != 0 {
+		t.Fatalf("identical runs gated: %+v", v)
+	}
+}
+
 func TestLoadRejectsBadJSON(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")

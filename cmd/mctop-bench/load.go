@@ -37,6 +37,9 @@ func loadMain(args []string) int {
 		threads   = fs.Int("max-threads", 16, "random per-request thread count upper bound")
 		seed      = fs.Int64("seed", 1, "RNG seed for a reproducible request sequence")
 		jsonOut   = fs.String("json", "", "also write the report as bench2json-shaped JSON to this file (for benchdelta)")
+		chaos     = fs.Bool("chaos", false,
+			"verify every 200 body against first-seen goldens and bound each request's duration: corrupt bytes or hangs fail the run (pair with a daemon started with -faults)")
+		chaosTO = fs.Duration("chaos-timeout", 15*time.Second, "per-request hang budget in -chaos mode")
 
 		sloErr = fs.Float64("slo-max-error-rate", 0, "fail if errors/requests exceeds this (0 = unchecked)")
 		sloRPS = fs.Float64("slo-min-rps", 0, "fail if overall throughput is below this (0 = unchecked)")
@@ -47,17 +50,19 @@ func loadMain(args []string) int {
 	fs.Parse(args)
 
 	cfg := loadgen.Config{
-		Target:      strings.TrimRight(*target, "/"),
-		Workers:     *workers,
-		Duration:    *duration,
-		MaxRequests: *maxReqs,
-		Warmup:      *warmup,
-		Reps:        *reps,
-		WarmSeeds:   *warmSeeds,
-		ColdRatio:   *cold,
-		BatchSize:   *batch,
-		MaxThreads:  *threads,
-		Seed:        *seed,
+		Target:       strings.TrimRight(*target, "/"),
+		Workers:      *workers,
+		Duration:     *duration,
+		MaxRequests:  *maxReqs,
+		Warmup:       *warmup,
+		Reps:         *reps,
+		WarmSeeds:    *warmSeeds,
+		ColdRatio:    *cold,
+		BatchSize:    *batch,
+		MaxThreads:   *threads,
+		Seed:         *seed,
+		Chaos:        *chaos,
+		ChaosTimeout: *chaosTO,
 		SLO: loadgen.SLO{
 			MaxErrorRate:  *sloErr,
 			MinThroughput: *sloRPS,

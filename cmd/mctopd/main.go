@@ -31,6 +31,10 @@
 // Endpoints:
 //
 //	GET  /healthz                          liveness probe (exempt from backpressure)
+//	GET  /readyz                           readiness probe: 503 while a tier
+//	                                       is degraded (spool read-only,
+//	                                       origin backoff open), 200 once
+//	                                       every tier heals
 //	GET  /v1/platforms                     the five simulated platforms
 //	GET  /v1/policies                      builtin + registered placement policies
 //	GET  /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
@@ -84,6 +88,7 @@ import (
 	"io"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -95,6 +100,7 @@ import (
 	"time"
 
 	mctop "repro"
+	"repro/internal/faultinject"
 	"repro/internal/mctoperr"
 	"repro/internal/registry"
 	"repro/internal/remote"
@@ -102,25 +108,72 @@ import (
 	"repro/internal/topo"
 )
 
+// daemonConfig is everything the flags decide, decoupled from the flag
+// package so tests can run a complete daemon in-process (run is the whole
+// lifecycle: listen, serve, drain, flush).
+type daemonConfig struct {
+	addr           string
+	cache          int
+	reps           int
+	spoolDir       string
+	spoolMaxBytes  int64
+	spoolMaxAge    time.Duration
+	upstream       string
+	maxInflight    int
+	pprof          bool
+	faults         string
+	faultsSeed     uint64
+	requestTimeout time.Duration
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8077", "listen address")
-		cache    = flag.Int("cache", 256, "maximum cached topologies + placements (LRU beyond)")
-		reps     = flag.Int("reps", 201, "default repetitions per context pair")
-		spoolDir = flag.String("spool-dir", "",
-			"persist inferred topologies and placements as description files here; a restarted daemon warm-starts from them (empty = memory only)")
-		spoolMaxBytes = flag.Int64("spool-max-bytes", 0,
-			"bound the spool directory's total size, evicting oldest-mtime files first at startup and after flushes (<= 0 = unlimited)")
-		spoolMaxAge = flag.Duration("spool-max-age", 0,
-			"evict spool files older than this at startup and after flushes (0 = unlimited)")
-		upstream = flag.String("upstream", "",
-			"origin mctopd base URL (e.g. http://origin:8077): misses are fetched from its /v1/export before inferring locally, making this daemon a fleet edge")
-		inflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
-			"maximum concurrent in-flight requests before shedding with 503 (<= 0 disables)")
-		pprofOn = flag.Bool("pprof", false,
-			"mount net/http/pprof under /debug/pprof/ (exempt from backpressure, like /metrics)")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", ":8077", "listen address")
+	flag.IntVar(&cfg.cache, "cache", 256, "maximum cached topologies + placements (LRU beyond)")
+	flag.IntVar(&cfg.reps, "reps", 201, "default repetitions per context pair")
+	flag.StringVar(&cfg.spoolDir, "spool-dir", "",
+		"persist inferred topologies and placements as description files here; a restarted daemon warm-starts from them (empty = memory only)")
+	flag.Int64Var(&cfg.spoolMaxBytes, "spool-max-bytes", 0,
+		"bound the spool directory's total size, evicting oldest-mtime files first at startup and after flushes (<= 0 = unlimited)")
+	flag.DurationVar(&cfg.spoolMaxAge, "spool-max-age", 0,
+		"evict spool files older than this at startup and after flushes (0 = unlimited)")
+	flag.StringVar(&cfg.upstream, "upstream", "",
+		"origin mctopd base URL (e.g. http://origin:8077): misses are fetched from its /v1/export before inferring locally, making this daemon a fleet edge")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0),
+		"maximum concurrent in-flight requests before shedding with 503 (<= 0 disables)")
+	flag.BoolVar(&cfg.pprof, "pprof", false,
+		"mount net/http/pprof under /debug/pprof/ (exempt from backpressure, like /metrics)")
+	flag.StringVar(&cfg.faults, "faults", "",
+		"arm deterministic fault injection: semicolon-separated point:mode=...,prob=...,count=... rules (see internal/faultinject), e.g. 'remote.fetch:mode=refused,count=3;spool.write:mode=enospc,prob=0.1'")
+	flag.Uint64Var(&cfg.faultsSeed, "faults-seed", 1,
+		"seed for the fault-injection probability stream (same seed + same request sequence = same faults)")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 0,
+		"per-request server-side deadline for buffered routes; a wedged tier becomes an honest 504 instead of a hung connection (0 = off; streaming and observability routes are exempt)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, func(addr string) {
+		log.Printf("mctopd: serving topology queries on %s (cache %d entries, %d in-flight)",
+			addr, cfg.cache, cfg.maxInflight)
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the daemon's whole lifecycle: build the tier chain, listen, call
+// onReady with the bound address, serve until ctx is cancelled (SIGTERM in
+// main), then drain in-flight requests and flush the spool. Splitting it
+// from main makes graceful shutdown testable with a real signal.
+func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error {
+	var faults *faultinject.Set
+	if cfg.faults != "" {
+		var err error
+		if faults, err = faultinject.Parse(cfg.faultsSeed, cfg.faults); err != nil {
+			return fmt.Errorf("mctopd: -faults: %w", err)
+		}
+		log.Printf("mctopd: fault injection armed (seed %d): %s", cfg.faultsSeed, cfg.faults)
+	}
 
 	// Tier chain, fastest first: LRU → spool (optional) → remote
 	// (optional) — any daemon is an origin to its downstreams and, with
@@ -130,57 +183,106 @@ func main() {
 		regOpts []mctop.RegistryOption
 		s       *server // assigned below; the remote observer closes over it
 		rs      *remote.Remote
+		sp      *spool.Spool
 	)
-	if *spoolDir != "" || *upstream != "" {
-		tiers := []mctop.Store{mctop.NewLRUStore(*cache, 0)}
-		if *spoolDir != "" {
-			sp, err := mctop.OpenSpoolWithLimits(*spoolDir, *spoolMaxBytes, *spoolMaxAge)
-			if err != nil {
-				log.Fatalf("mctopd: %v", err)
+	if cfg.spoolDir != "" || cfg.upstream != "" {
+		tiers := []mctop.Store{mctop.NewLRUStore(cfg.cache, 0)}
+		if cfg.spoolDir != "" {
+			var spOpts []spool.Option
+			if cfg.spoolMaxBytes > 0 {
+				spOpts = append(spOpts, spool.WithMaxBytes(cfg.spoolMaxBytes))
+			}
+			if cfg.spoolMaxAge > 0 {
+				spOpts = append(spOpts, spool.WithMaxAge(cfg.spoolMaxAge))
+			}
+			if faults != nil {
+				spOpts = append(spOpts, spool.WithFaults(faults))
+			}
+			var err error
+			if sp, err = spool.New(cfg.spoolDir, spOpts...); err != nil {
+				return fmt.Errorf("mctopd: %w", err)
 			}
 			tiers = append(tiers, sp)
-			log.Printf("mctopd: spooling to %s (%d entries on disk)", *spoolDir, sp.Len())
+			log.Printf("mctopd: spooling to %s (%d entries on disk)", cfg.spoolDir, sp.Len())
 		}
-		if *upstream != "" {
+		if cfg.upstream != "" {
 			// Built directly (not through the facade) so the daemon keeps a
 			// handle for the backoff gauges; the observer reads s.metrics,
 			// which is assigned before the first request can fetch.
-			rs = remote.New(*upstream, remote.WithObserver(func(d time.Duration, outcome string) {
-				s.metrics.fetchObserver(*upstream)(d, outcome)
-			}))
+			rOpts := []remote.Option{remote.WithObserver(func(d time.Duration, outcome string) {
+				s.metrics.fetchObserver(cfg.upstream)(d, outcome)
+			})}
+			if faults != nil {
+				rOpts = append(rOpts, remote.WithHTTPClient(&http.Client{
+					Transport: faultinject.Transport(faults, faultinject.RemoteFetch, http.DefaultTransport),
+				}))
+			}
+			rs = remote.New(cfg.upstream, rOpts...)
 			tiers = append(tiers, rs)
-			log.Printf("mctopd: edge mode, pulling misses from %s", *upstream)
+			log.Printf("mctopd: edge mode, pulling misses from %s", cfg.upstream)
 		}
 		regOpts = append(regOpts, mctop.WithStore(mctop.NewTieredStore(tiers...)))
 	}
-	reg := mctop.NewRegistry(*cache, regOpts...)
-	s = newServerWith(reg, *reps, *inflight)
-	s.pprof = *pprofOn
+	if faults != nil {
+		// The registry.infer point: a fired rule delays and/or fails the
+		// compute path itself, the slowest thing a request can wait on.
+		regOpts = append(regOpts, mctop.WithInferWrapper(func(next mctop.InferCtxFunc) mctop.InferCtxFunc {
+			return func(ctx context.Context, platform string, seed uint64, opt mctop.Options) (*mctop.Topology, error) {
+				if o, fired := faults.Eval(faultinject.RegistryInfer); fired {
+					if err := o.Delay(ctx); err != nil {
+						return nil, err
+					}
+					if o.Mode != "slow" {
+						return nil, o.Err(faultinject.RegistryInfer)
+					}
+				}
+				return next(ctx, platform, seed, opt)
+			}
+		}))
+	}
+	reg := mctop.NewRegistry(cfg.cache, regOpts...)
+	s = newServerWith(reg, cfg.reps, cfg.maxInflight)
+	s.pprof = cfg.pprof
+	s.reqTimeout = cfg.requestTimeout
 	s.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if sp != nil {
+		s.readiness = append(s.readiness, readyProbe{tier: "spool", check: sp.Degraded})
+	}
 	if rs != nil {
-		s.metrics.observeRemote(*upstream, rs)
+		s.metrics.observeRemote(cfg.upstream, rs)
+		s.readiness = append(s.readiness, readyProbe{tier: "remote", check: func() (bool, string) {
+			b := rs.Backoff()
+			if !b.DownUntil.IsZero() && time.Now().Before(b.DownUntil) {
+				return true, fmt.Sprintf("origin backoff window open (%d consecutive failures)", b.ConsecutiveFails)
+			}
+			return false, ""
+		}})
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("mctopd: %w", err)
 	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // a cold SPARC inference at paper reps is slow
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("mctopd: serving topology queries on %s (cache %d entries, %d in-flight)", *addr, *cache, *inflight)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
 
-	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, drain in-flight
-	// requests, then flush the registry so every entry the process served
-	// is durable in the spool — the next start answers them with zero
-	// re-inferences.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Graceful shutdown: on ctx cancellation stop accepting, drain
+	// in-flight requests, then flush the registry so every entry the
+	// process served is durable in the spool — the next start answers them
+	// with zero re-inferences.
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		return err
 	case <-ctx.Done():
 	}
 	log.Printf("mctopd: shutting down")
@@ -190,8 +292,9 @@ func main() {
 		log.Printf("mctopd: shutdown: %v", err)
 	}
 	if err := reg.Close(); err != nil {
-		log.Printf("mctopd: flushing spool: %v", err)
+		return fmt.Errorf("mctopd: flushing spool: %w", err)
 	}
+	return nil
 }
 
 // server holds the daemon's registry and defaults; split from main so tests
@@ -211,6 +314,23 @@ type server struct {
 	logger  *slog.Logger
 	// pprof mounts net/http/pprof under /debug/pprof/ when set.
 	pprof bool
+	// readiness lists the per-tier degradation probes behind /readyz (and
+	// the ready/degraded fields of /v1/stats and /metrics). Empty = always
+	// ready.
+	readiness []readyProbe
+	// reqTimeout, when > 0, bounds buffered handlers with a server-side
+	// deadline (withDeadlines); streaming and observability routes are
+	// exempt.
+	reqTimeout time.Duration
+}
+
+// readyProbe is one tier's degradation check: degraded=true with a
+// human-readable reason means the tier is unhealthy but the daemon keeps
+// serving what it can — readiness (route traffic elsewhere), not liveness
+// (restart me).
+type readyProbe struct {
+	tier  string
+	check func() (degraded bool, reason string)
 }
 
 func newServer(cacheEntries, defaultReps int) *server {
@@ -236,6 +356,7 @@ func newServerWith(reg *mctop.Registry, defaultReps, maxInflight int) *server {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/platforms", s.handlePlatforms)
 	mux.HandleFunc("/v1/policies", s.handlePolicies)
 	mux.HandleFunc("/v1/topology", s.handleTopology)
@@ -251,7 +372,7 @@ func (s *server) routes() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.instrument(s.withBackpressure(mux))
+	return s.instrument(s.withBackpressure(s.withDeadlines(mux)))
 }
 
 // exemptFromBackpressure lists the observability endpoints that must answer
@@ -259,8 +380,35 @@ func (s *server) routes() http.Handler {
 // saturated daemon as alive, and a saturated daemon is exactly when an
 // operator needs its metrics and profiles.
 func exemptFromBackpressure(path string) bool {
-	return path == "/healthz" || path == "/metrics" ||
+	return path == "/healthz" || path == "/readyz" || path == "/metrics" ||
 		strings.HasPrefix(path, "/debug/pprof/")
+}
+
+// withDeadlines bounds every buffered route with a server-side request
+// deadline (s.reqTimeout), so a wedged tier becomes an honest 504 instead
+// of a connection that hangs until the client gives up. Streaming
+// responses are exempt — a long NDJSON stream is progress, not a hang —
+// as are the observability routes.
+func (s *server) withDeadlines(next http.Handler) http.Handler {
+	if s.reqTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromDeadline(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func exemptFromDeadline(r *http.Request) bool {
+	if exemptFromBackpressure(r.URL.Path) {
+		return true
+	}
+	return r.URL.Path == "/v1/place/batch" && r.URL.Query().Get("stream") == "1"
 }
 
 // withBackpressure sheds requests beyond the in-flight bound with 503 +
@@ -326,13 +474,58 @@ func statusOf(err error) int {
 	}
 }
 
-// writeErrStatus maps err through statusOf and writes it.
+// writeErrStatus maps err through statusOf and writes it. 503s and 504s —
+// the honest refusals of the SLO contract — always carry a Retry-After,
+// so a well-behaved client backs off instead of hammering a degraded
+// daemon.
 func writeErrStatus(w http.ResponseWriter, err error) {
-	writeErr(w, statusOf(err), err)
+	status := statusOf(err)
+	if status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
+	writeErr(w, status, err)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
+}
+
+// degradedTier names one unhealthy tier in /readyz and /v1/stats.
+type degradedTier struct {
+	Tier   string `json:"tier"`
+	Reason string `json:"reason"`
+}
+
+// readyState runs every readiness probe; ready means none is degraded.
+func (s *server) readyState() (bool, []degradedTier) {
+	var out []degradedTier
+	for _, p := range s.readiness {
+		if bad, reason := p.check(); bad {
+			out = append(out, degradedTier{Tier: p.tier, Reason: reason})
+		}
+	}
+	return len(out) == 0, out
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: a daemon
+// that is alive but degraded (spool effectively read-only after a write
+// failure, origin inside a backoff window) answers 503 here so an
+// orchestrator routes traffic elsewhere while the process keeps serving
+// what it can. /healthz stays 200 the whole time — degraded is not a
+// reason to restart.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, degraded := s.readyState()
+	if ready {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"ready":    false,
+		"degraded": degraded,
+	})
 }
 
 func (s *server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
@@ -776,6 +969,14 @@ func (s *server) validateExport(platform string, opt mctop.Options) error {
 	return validateReps(opt.Normalized().Reps)
 }
 
+// statsResponse is registry.Stats plus the daemon's readiness view —
+// additive fields, so clients decoding into registry.Stats keep working.
+type statsResponse struct {
+	registry.Stats
+	Ready    bool           `json:"ready"`
+	Degraded []degradedTier `json:"degraded,omitempty"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// One snapshot, taken before any response byte is written: Stats()
 	// reads every counter exactly once in a fixed order (see its doc), so
@@ -783,5 +984,6 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// successive scrapes never show a counter moving backwards — the same
 	// snapshot discipline the /metrics mirror uses.
 	st := s.reg.Stats()
-	writeJSON(w, http.StatusOK, st)
+	ready, degraded := s.readyState()
+	writeJSON(w, http.StatusOK, statsResponse{Stats: st, Ready: ready, Degraded: degraded})
 }

@@ -42,6 +42,11 @@ type daemonMetrics struct {
 	storePuts      *metrics.CounterVec // tier
 	storeErrors    *metrics.CounterVec // tier
 
+	// Readiness and corruption accounting (mirrored at scrape time).
+	ready            *metrics.Gauge
+	tierDegraded     *metrics.GaugeVec // tier — 1 while the tier's probe reports degraded
+	spoolQuarantined *metrics.Gauge
+
 	// Remote tier (edge mode only; families exist either way so the
 	// exposition shape is stable).
 	remoteFetchDur   *metrics.HistogramVec // origin, outcome
@@ -98,6 +103,14 @@ func newDaemonMetrics() *daemonMetrics {
 		storeErrors: r.NewCounterVec("mctopd_store_errors_total",
 			"Entries a tier failed to read or write (each degraded to a miss or dropped write), by tier.",
 			"tier"),
+		ready: r.NewGauge("mctopd_ready",
+			"1 when every readiness probe passes (what /readyz answers 200 on), else 0."),
+		tierDegraded: r.NewGaugeVec("mctopd_tier_degraded",
+			"1 while the tier's readiness probe reports degraded (spool read-only, origin backoff open), else 0.",
+			"tier"),
+		spoolQuarantined: r.NewGauge(
+			"mctopd_spool_quarantined_files",
+			"Undecodable or torn files the spool moved to its quarantine/ directory; nonzero means on-disk corruption happened."),
 		remoteFetchDur: r.NewHistogramVec("mctopd_remote_fetch_duration_seconds",
 			"Upstream /v1/export fetch wall time, by origin and outcome (ok, origin_fault, key_fault).",
 			metrics.DefDurationBuckets, "origin", "outcome"),
@@ -148,9 +161,11 @@ func (d *daemonMetrics) observeServer(s *server) {
 		d.regPlacements.Set(st.Placements)
 		d.regEvictions.Set(st.Evictions)
 		d.regEntries.Set(float64(st.Entries))
+		var quarantined float64
 		for _, tier := range st.Tiers {
 			d.storePuts.With(tier.Tier).Set(tier.Puts)
 			d.storeErrors.With(tier.Tier).Set(tier.Errors)
+			quarantined += float64(tier.Quarantined)
 			for kind, ks := range tier.Kinds {
 				d.storeGets.With(tier.Tier, kind, "hit").Set(ks.Hits)
 				d.storeGets.With(tier.Tier, kind, "miss").Set(ks.Misses)
@@ -158,6 +173,18 @@ func (d *daemonMetrics) observeServer(s *server) {
 				d.storeEntries.With(tier.Tier, kind).Set(float64(ks.Entries))
 			}
 		}
+		d.spoolQuarantined.Set(quarantined)
+		// Probe each tier so a healed tier drops back to 0 (s.readiness is
+		// fixed after startup; the closure reads its current probes).
+		ready := 1.0
+		for _, p := range s.readiness {
+			v := 0.0
+			if bad, _ := p.check(); bad {
+				v, ready = 1, 0
+			}
+			d.tierDegraded.With(p.tier).Set(v)
+		}
+		d.ready.Set(ready)
 	})
 }
 
@@ -188,7 +215,7 @@ func (d *daemonMetrics) fetchObserver(origin string) func(time.Duration, string)
 // route label stays bounded whatever clients probe for.
 func routeLabel(path string) string {
 	switch path {
-	case "/healthz", "/metrics",
+	case "/healthz", "/readyz", "/metrics",
 		"/v1/platforms", "/v1/policies", "/v1/topology", "/v1/place",
 		"/v1/place/batch", "/v1/export", "/v1/stats":
 		return path
@@ -245,7 +272,7 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		if served.Tier != "" {
 			s.metrics.servedByTier.With(served.Tier).Inc()
 		}
-		if route != "/healthz" && route != "/metrics" {
+		if route != "/healthz" && route != "/readyz" && route != "/metrics" {
 			attrs := []any{
 				"route", route,
 				"method", r.Method,

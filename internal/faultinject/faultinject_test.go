@@ -1,0 +1,242 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSetNeverFires(t *testing.T) {
+	var s *Set
+	if _, ok := s.Eval(SpoolWrite); ok {
+		t.Fatal("nil Set fired")
+	}
+	if n := s.Fires(SpoolWrite); n != 0 {
+		t.Fatalf("nil Set Fires = %d", n)
+	}
+	s.Add(Fault{Point: SpoolWrite})
+	s.Disable()
+	s.Enable()
+	if got := s.Points(); got != nil {
+		t.Fatalf("nil Set Points = %v", got)
+	}
+}
+
+func TestEvalDeterministicAcrossSets(t *testing.T) {
+	mk := func() *Set { return New(42, Fault{Point: "p", Prob: 0.5}) }
+	a, b := mk(), mk()
+	var fired int
+	for i := 0; i < 1000; i++ {
+		_, okA := a.Eval("p")
+		_, okB := b.Eval("p")
+		if okA != okB {
+			t.Fatalf("eval %d diverged: %v vs %v", i, okA, okB)
+		}
+		if okA {
+			fired++
+		}
+	}
+	if fired < 400 || fired > 600 {
+		t.Fatalf("prob=0.5 fired %d/1000 times", fired)
+	}
+	// A different seed must produce a different decision sequence.
+	c := New(43, Fault{Point: "p", Prob: 0.5})
+	same := true
+	a2 := mk()
+	for i := 0; i < 64; i++ {
+		_, okA := a2.Eval("p")
+		_, okC := c.Eval("p")
+		if okA != okC {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical decision streams")
+	}
+}
+
+func TestCountAfterAndDisable(t *testing.T) {
+	s := New(1, Fault{Point: "p", Mode: "x", Count: 2, After: 3})
+	var fires []int
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Eval("p"); ok {
+			fires = append(fires, i)
+		}
+	}
+	// Skips evals 0..2, then fires exactly twice.
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 4 {
+		t.Fatalf("fires at %v, want [3 4]", fires)
+	}
+	if s.Fires("p") != 2 {
+		t.Fatalf("Fires = %d, want 2", s.Fires("p"))
+	}
+
+	s = New(1, Fault{Point: "p"})
+	s.Disable()
+	if _, ok := s.Eval("p"); ok {
+		t.Fatal("disabled set fired")
+	}
+	s.Enable()
+	if _, ok := s.Eval("p"); !ok {
+		t.Fatal("re-enabled set did not fire")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	faults, err := ParseFaults("spool.write:mode=torn,prob=0.25,count=5,after=2,latency=10ms; remote.fetch:mode=status,status=502")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("parsed %d faults, want 2", len(faults))
+	}
+	f := faults[0]
+	if f.Point != SpoolWrite || f.Mode != "torn" || f.Prob != 0.25 || f.Count != 5 || f.After != 2 || f.Latency != 10*time.Millisecond {
+		t.Fatalf("bad first fault: %+v", f)
+	}
+	if faults[1].Point != RemoteFetch || faults[1].Status != 502 {
+		t.Fatalf("bad second fault: %+v", faults[1])
+	}
+
+	for _, bad := range []string{
+		"",
+		":mode=x",
+		"p:prob=2",
+		"p:count=-1",
+		"p:latency=banana",
+		"p:status=200",
+		"p:frobnicate=1",
+		"p:mode",
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+
+	s, err := Parse(7, "registry.infer:mode=fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Points(); len(got) != 1 || got[0] != RegistryInfer {
+		t.Fatalf("Points = %v", got)
+	}
+}
+
+func TestOutcomeErrWrapsSentinel(t *testing.T) {
+	s := New(1, Fault{Point: "p", Mode: "fail"})
+	o, ok := s.Eval("p")
+	if !ok {
+		t.Fatal("did not fire")
+	}
+	if err := o.Err("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err does not wrap ErrInjected: %v", err)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	s := New(1, Fault{Point: "p", Latency: time.Hour})
+	o, _ := s.Eval("p")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := o.Delay(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Delay = %v, want context.Canceled", err)
+	}
+	// Injected instant sleeper makes a long latency free.
+	s.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	o, _ = s.Eval("p")
+	if err := o.Delay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func transportTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "#key topo|Ivy|1|r51\nreal body bytes that are long enough to be truncated meaningfully\n")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportModes(t *testing.T) {
+	srv := transportTarget(t)
+	do := func(s *Set, ctx context.Context) (*http.Response, error) {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+		return Transport(s, RemoteFetch, nil).RoundTrip(req)
+	}
+
+	// No rules: pass-through.
+	resp, err := do(New(1), context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	full := string(b)
+	if !strings.HasPrefix(full, "#key ") {
+		t.Fatalf("pass-through body %q", full)
+	}
+
+	// refused: synthetic dial error wrapping the sentinel.
+	_, err = do(New(1, Fault{Point: RemoteFetch, Mode: "refused"}), context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("refused err = %v", err)
+	}
+
+	// status: synthesized 502 without touching the wire.
+	resp, err = do(New(1, Fault{Point: RemoteFetch, Mode: "status", Status: 502}), context.Background())
+	if err != nil || resp.StatusCode != 502 {
+		t.Fatalf("status mode: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// truncate: 200 with a short body.
+	resp, err = do(New(1, Fault{Point: RemoteFetch, Mode: "truncate"}), context.Background())
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("truncate mode: %v %v", resp, err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(b) != 48 || full == string(b) {
+		t.Fatalf("truncate body: %d bytes", len(b))
+	}
+
+	// garbage: 200 with undecodable bytes.
+	resp, err = do(New(1, Fault{Point: RemoteFetch, Mode: "garbage"}), context.Background())
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("garbage mode: %v %v", resp, err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.HasPrefix(string(b), "#key ") {
+		t.Fatal("garbage mode returned a decodable body")
+	}
+
+	// hang: blocks until the request context fires.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = do(New(1, Fault{Point: RemoteFetch, Mode: "hang"}), ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang err = %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("hang returned before the context deadline")
+	}
+
+	// Count bounds injected faults; later requests pass through.
+	s := New(1, Fault{Point: RemoteFetch, Mode: "refused", Count: 1})
+	if _, err := do(s, context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first request not refused: %v", err)
+	}
+	resp, err = do(s, context.Background())
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("second request did not pass through: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}

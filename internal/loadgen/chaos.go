@@ -1,0 +1,133 @@
+package loadgen
+
+// Chaos mode: the closed loop doubles as a correctness monitor. Every 200
+// response is checked against a golden answer captured on first sighting
+// (or seeded by a healthy pre-run sharing the ChaosState), so a daemon
+// under fault injection is held to the serving contract — correct bytes
+// or an honest error status, never silently corrupt data, and never a
+// hang past the per-request budget. Topology requests switch to
+// format=mctop so the comparison is on the exact description-file bytes
+// the tiers shuttle around; placements compare the context assignment,
+// keyed by (platform, seed, policy, n_threads) so the single, batch and
+// streaming routes must all agree with each other.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// ChaosState is the golden-answer store a chaos run validates against.
+// Answers are recorded the first time a (platform, seed, ...) shape is
+// seen and must match byte-for-byte (topologies) or context-for-context
+// (placements) ever after. Share one state across runs — e.g. a healthy
+// warmup run followed by a fault-injected run — to pin the goldens before
+// any fault can fire. Safe for concurrent use.
+type ChaosState struct {
+	mu sync.Mutex
+	// topo: "platform|seed" → the format=mctop response body.
+	topo map[string][]byte
+	// place: "platform|seed|policy|nthreads" → fmt.Sprint of the contexts.
+	place map[string]string
+}
+
+// NewChaosState returns an empty golden store.
+func NewChaosState() *ChaosState {
+	return &ChaosState{
+		topo:  make(map[string][]byte),
+		place: make(map[string]string),
+	}
+}
+
+// checkTopology records body as golden on first sighting and compares on
+// every later one; false means corruption.
+func (c *ChaosState) checkTopology(platform string, seed uint64, body []byte) bool {
+	k := fmt.Sprintf("%s|%d", platform, seed)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	golden, ok := c.topo[k]
+	if !ok {
+		c.topo[k] = bytes.Clone(body)
+		return true
+	}
+	return bytes.Equal(golden, body)
+}
+
+// checkPlace is checkTopology for one placement answer. Keying by the
+// response's own (policy, n_threads) makes every route that can produce
+// the placement — /v1/place, batch, stream — accountable to one golden.
+func (c *ChaosState) checkPlace(platform string, seed uint64, policy string, nThreads int, ctxs []int) bool {
+	k := fmt.Sprintf("%s|%d|%s|%d", platform, seed, policy, nThreads)
+	v := fmt.Sprint(ctxs)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	golden, ok := c.place[k]
+	if !ok {
+		c.place[k] = v
+		return true
+	}
+	return golden == v
+}
+
+// chaosPlaceItem is the placement shape shared (modulo omitted fields) by
+// the /v1/place response, the batch results array and the NDJSON stream
+// lines — everything the golden comparison needs.
+type chaosPlaceItem struct {
+	Policy   string `json:"policy"`
+	Error    string `json:"error"`
+	NThreads int    `json:"n_threads"`
+	Contexts []int  `json:"contexts"`
+}
+
+// verify checks one 200 response body against the goldens; false means
+// the daemon served corrupt data. An undecodable 200 body is corruption
+// by definition — the contract allows broken answers only behind an
+// honest error status. Placement items carrying inline errors are honest
+// refusals, not corruption.
+func (c *ChaosState) verify(route, platform string, seed uint64, body []byte) bool {
+	switch route {
+	case RouteTopology:
+		return c.checkTopology(platform, seed, body)
+	case RoutePlace:
+		var item chaosPlaceItem
+		if err := json.Unmarshal(body, &item); err != nil {
+			return false
+		}
+		return c.checkPlace(platform, seed, item.Policy, item.NThreads, item.Contexts)
+	case RouteBatch:
+		var resp struct {
+			Results []chaosPlaceItem `json:"results"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return false
+		}
+		for _, item := range resp.Results {
+			if item.Error != "" {
+				continue
+			}
+			if !c.checkPlace(platform, seed, item.Policy, item.NThreads, item.Contexts) {
+				return false
+			}
+		}
+		return true
+	case RouteStream:
+		for _, line := range bytes.Split(body, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var item chaosPlaceItem
+			if err := json.Unmarshal(line, &item); err != nil {
+				return false
+			}
+			if item.Error != "" {
+				continue
+			}
+			if !c.checkPlace(platform, seed, item.Policy, item.NThreads, item.Contexts) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}

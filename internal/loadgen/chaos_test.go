@@ -1,0 +1,200 @@
+package loadgen
+
+// Chaos-mode verification against scripted fake daemons: golden capture
+// and mismatch detection per route, hang classification under the
+// per-request budget, and the honest-5xx carve-out.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosServer answers every route consistently from deterministic fakes,
+// flipping to corrupt bodies when corrupt is set.
+func chaosServer(corrupt *atomic.Bool) http.Handler {
+	topoBody := func(r *http.Request) string {
+		return fmt.Sprintf("mctop fake\nplatform %s seed %s\nend\n",
+			r.URL.Query().Get("platform"), r.URL.Query().Get("seed"))
+	}
+	item := func(threads int) string {
+		ctxs := make([]string, threads)
+		for i := range ctxs {
+			ctxs[i] = fmt.Sprint(i)
+		}
+		return fmt.Sprintf(`{"policy":"RR_CORE","n_threads":%d,"contexts":[%s]}`,
+			threads, strings.Join(ctxs, ","))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/topology", func(w http.ResponseWriter, r *http.Request) {
+		body := topoBody(r)
+		if corrupt.Load() {
+			body = "mctop fake\ncorrupted\nend\n"
+		}
+		fmt.Fprint(w, body)
+	})
+	mux.HandleFunc("/v1/place", func(w http.ResponseWriter, r *http.Request) {
+		if corrupt.Load() {
+			// Same golden key (policy, n_threads), different contexts.
+			fmt.Fprint(w, `{"policy":"RR_CORE","n_threads":4,"contexts":[9,9,9,9]}`)
+			return
+		}
+		fmt.Fprint(w, item(4))
+	})
+	mux.HandleFunc("/v1/place/batch", func(w http.ResponseWriter, r *http.Request) {
+		line := item(4)
+		if corrupt.Load() {
+			line = `{"policy":"RR_CORE","n_threads":4,"contexts":[8,8,8,8]}`
+		}
+		if r.URL.Query().Get("stream") == "1" {
+			fmt.Fprintf(w, "%s\n%s\n", line, line)
+			return
+		}
+		fmt.Fprintf(w, `{"results":[%s]}`, line)
+	})
+	return mux
+}
+
+// fixedConfig pins the workload to one (platform, seed) so every request
+// after the first compares against a recorded golden.
+func fixedConfig(target string, mix Mix, n int64) Config {
+	return Config{
+		Target:      target,
+		Workers:     2,
+		Duration:    30 * time.Second,
+		MaxRequests: n,
+		Mix:         mix,
+		Platforms:   []string{"Ivy"},
+		WarmSeeds:   1,
+		MaxThreads:  1, // place requests always ask threads=1; fakes answer a fixed shape
+		BatchSize:   2,
+		Chaos:       true,
+	}
+}
+
+func TestChaosDetectsCorruptionPerRoute(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mix  Mix
+	}{
+		{"topology", Mix{Topology: 1}},
+		{"place", Mix{Place: 1}},
+		{"batch", Mix{Batch: 1}},
+		{"stream", Mix{Stream: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var corrupt atomic.Bool
+			srv := httptest.NewServer(chaosServer(&corrupt))
+			defer srv.Close()
+
+			state := NewChaosState()
+			// Healthy pass: goldens recorded, contract clean.
+			cfg := fixedConfig(srv.URL, tc.mix, 6)
+			cfg.ChaosState = state
+			rep, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Corrupt != 0 || rep.Hangs != 0 || !rep.OK() {
+				t.Fatalf("healthy pass flagged: corrupt=%d hangs=%d fails=%v",
+					rep.Corrupt, rep.Hangs, rep.SLOFailures)
+			}
+
+			// Corrupt pass against the same goldens: every 200 must be
+			// flagged and the run must fail.
+			corrupt.Store(true)
+			rep, err = Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Corrupt == 0 {
+				t.Fatal("corrupted responses not detected")
+			}
+			if rep.OK() {
+				t.Fatalf("chaos contract passed despite %d corrupt responses", rep.Corrupt)
+			}
+			if rep.Errors < rep.Corrupt {
+				t.Fatalf("corrupt responses not counted as errors (%d errors, %d corrupt)",
+					rep.Errors, rep.Corrupt)
+			}
+		})
+	}
+}
+
+func TestChaosUndecodable200IsCorrupt(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "this is not JSON")
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), fixedConfig(srv.URL, Mix{Place: 1}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 4 || rep.OK() {
+		t.Fatalf("undecodable 200s: corrupt=%d fails=%v, want 4 and a failed run",
+			rep.Corrupt, rep.SLOFailures)
+	}
+}
+
+func TestChaosFlagsHangs(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // a wedged daemon: accepted, never answers
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+
+	cfg := fixedConfig(srv.URL, Mix{Topology: 1}, 2)
+	cfg.Workers = 1
+	cfg.ChaosTimeout = 50 * time.Millisecond
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hangs != 2 {
+		t.Fatalf("hangs = %d, want 2", rep.Hangs)
+	}
+	if rep.OK() {
+		t.Fatal("chaos contract passed despite hangs")
+	}
+}
+
+func TestChaosToleratesHonest5xx(t *testing.T) {
+	var n atomic.Int64
+	var corrupt atomic.Bool
+	inner := chaosServer(&corrupt)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"degraded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	// No MaxErrorRate bound: honest refusals are errors but not contract
+	// violations, so the chaos run passes.
+	rep, err := Run(context.Background(), fixedConfig(srv.URL, Mix{Topology: 1, Place: 1}, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("the 5xx carve-out was never exercised")
+	}
+	if rep.Corrupt != 0 || rep.Hangs != 0 {
+		t.Fatalf("honest 5xx flagged as corruption: corrupt=%d hangs=%d", rep.Corrupt, rep.Hangs)
+	}
+	if !rep.OK() {
+		t.Fatalf("chaos run failed on honest errors: %v", rep.SLOFailures)
+	}
+}

@@ -112,6 +112,16 @@ type Config struct {
 	Client *http.Client
 	// SLO is checked into Report.SLOFailures after the run.
 	SLO SLO
+	// Chaos turns the loop into a correctness monitor (see ChaosState):
+	// 200 bodies are verified against first-seen goldens, requests get a
+	// per-request hang budget (ChaosTimeout, default 15s), and any corrupt
+	// response or hang fails the run's SLO regardless of other bounds.
+	// Honest error statuses are tolerated (bound them with MaxErrorRate).
+	Chaos        bool
+	ChaosTimeout time.Duration
+	// ChaosState carries goldens across runs; nil gets a fresh store. Pass
+	// the same state to a healthy run first to pin goldens before faults.
+	ChaosState *ChaosState
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +152,12 @@ func (c Config) withDefaults() Config {
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 5 * time.Minute}
 	}
+	if c.ChaosTimeout <= 0 {
+		c.ChaosTimeout = 15 * time.Second
+	}
+	if c.Chaos && c.ChaosState == nil {
+		c.ChaosState = NewChaosState()
+	}
 	c.Mix = c.Mix.normalized()
 	return c
 }
@@ -151,6 +167,11 @@ type obs struct {
 	route string
 	dur   time.Duration
 	err   bool
+	// corrupt and hang are chaos-mode verdicts: a 200 whose body failed
+	// golden verification, and a request that outlived the per-request
+	// budget while the run was still live.
+	corrupt bool
+	hang    bool
 }
 
 // RouteStats is one route's share of a Report.
@@ -174,6 +195,11 @@ type Report struct {
 	Errors     int64         `json:"errors"`
 	Throughput float64       `json:"throughput_rps"`
 	Routes     []RouteStats  `json:"routes"`
+	// Corrupt and Hangs are chaos-mode contract violations: 200 responses
+	// whose bodies failed golden verification, and requests that outlived
+	// the per-request budget. Either being nonzero fails the run.
+	Corrupt int64 `json:"corrupt,omitempty"`
+	Hangs   int64 `json:"hangs,omitempty"`
 	// SLOFailures lists every violated SLO bound, empty on a pass.
 	SLOFailures []string `json:"slo_failures,omitempty"`
 }
@@ -242,6 +268,16 @@ func issueOne(ctx context.Context, cfg Config, rng *rand.Rand, coldSeed *atomic.
 		seed = coldSeed.Add(1)
 	}
 
+	// Chaos mode bounds every request individually: a response that
+	// outlives the budget while the run context is still live is a hang —
+	// the contract violation the budget exists to catch.
+	reqCtx := ctx
+	if cfg.Chaos {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(ctx, cfg.ChaosTimeout)
+		defer cancel()
+	}
+
 	n := rng.Intn(cfg.Mix.total())
 	var route string
 	var req *http.Request
@@ -249,14 +285,20 @@ func issueOne(ctx context.Context, cfg Config, rng *rand.Rand, coldSeed *atomic.
 	switch {
 	case n < cfg.Mix.Topology:
 		route = RouteTopology
-		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
-			cfg.Target+"/v1/topology?"+commonQuery(cfg, platform, seed), nil)
+		q := commonQuery(cfg, platform, seed)
+		if cfg.Chaos {
+			// Golden-compare the exact description-file bytes, not a JSON
+			// rendering with volatile fields (served_in, cached).
+			q += "&format=mctop"
+		}
+		req, err = http.NewRequestWithContext(reqCtx, http.MethodGet,
+			cfg.Target+"/v1/topology?"+q, nil)
 	case n < cfg.Mix.Topology+cfg.Mix.Place:
 		route = RoutePlace
 		q := commonQuery(cfg, platform, seed) +
 			"&policy=" + url.QueryEscape(cfg.Policies[rng.Intn(len(cfg.Policies))]) +
 			"&threads=" + strconv.Itoa(1+rng.Intn(cfg.MaxThreads))
-		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+		req, err = http.NewRequestWithContext(reqCtx, http.MethodGet,
 			cfg.Target+"/v1/place?"+q, nil)
 	default:
 		stream := n >= cfg.Mix.Topology+cfg.Mix.Place+cfg.Mix.Batch
@@ -266,7 +308,7 @@ func issueOne(ctx context.Context, cfg Config, rng *rand.Rand, coldSeed *atomic.
 			route = RouteStream
 			path += "?stream=1"
 		}
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+		req, err = http.NewRequestWithContext(reqCtx, http.MethodPost,
 			cfg.Target+path, bytes.NewReader(batchBody(cfg, rng, platform, seed)))
 		if req != nil {
 			req.Header.Set("Content-Type", "application/json")
@@ -276,26 +318,49 @@ func issueOne(ctx context.Context, cfg Config, rng *rand.Rand, coldSeed *atomic.
 		return obs{route: route, err: true}
 	}
 
+	hung := func() bool {
+		return cfg.Chaos && ctx.Err() == nil && reqCtx.Err() == context.DeadlineExceeded
+	}
 	start := time.Now()
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
+		if hung() {
+			return obs{route: route, dur: time.Since(start), err: true, hang: true}
+		}
 		if ctx.Err() != nil {
 			return obs{}
 		}
 		return obs{route: route, dur: time.Since(start), err: true}
 	}
 	// Drain fully (streamed lines included) so the duration covers the
-	// whole response and the connection is reusable.
-	_, copyErr := io.Copy(io.Discard, resp.Body)
+	// whole response and the connection is reusable. Chaos keeps the bytes
+	// for golden verification.
+	var body []byte
+	var copyErr error
+	if cfg.Chaos {
+		body, copyErr = io.ReadAll(resp.Body)
+	} else {
+		_, copyErr = io.Copy(io.Discard, resp.Body)
+	}
 	resp.Body.Close()
+	if copyErr != nil && hung() {
+		return obs{route: route, dur: time.Since(start), err: true, hang: true}
+	}
 	if ctx.Err() != nil && (copyErr != nil || resp.StatusCode >= 400) {
 		return obs{}
 	}
-	return obs{
+	o := obs{
 		route: route,
 		dur:   time.Since(start),
 		err:   copyErr != nil || resp.StatusCode >= 400,
 	}
+	if cfg.Chaos && !o.err && resp.StatusCode == http.StatusOK {
+		o.corrupt = !cfg.ChaosState.verify(route, platform, seed, body)
+		if o.corrupt {
+			o.err = true
+		}
+	}
+	return o
 }
 
 func commonQuery(cfg Config, platform string, seed uint64) string {
@@ -333,12 +398,19 @@ func aggregate(cfg Config, perW [][]obs, elapsed time.Duration) *Report {
 	byRoute := make(map[string][]time.Duration)
 	errs := make(map[string]int64)
 	var total, totalErrs int64
+	var corrupt, hangs int64
 	for _, ws := range perW {
 		for _, o := range ws {
 			total++
 			if o.err {
 				totalErrs++
 				errs[o.route]++
+			}
+			if o.corrupt {
+				corrupt++
+			}
+			if o.hang {
+				hangs++
 			}
 			byRoute[o.route] = append(byRoute[o.route], o.dur)
 		}
@@ -349,6 +421,8 @@ func aggregate(cfg Config, perW [][]obs, elapsed time.Duration) *Report {
 		Elapsed:  elapsed,
 		Requests: total,
 		Errors:   totalErrs,
+		Corrupt:  corrupt,
+		Hangs:    hangs,
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(total) / elapsed.Seconds()
@@ -377,6 +451,18 @@ func aggregate(cfg Config, perW [][]obs, elapsed time.Duration) *Report {
 		})
 	}
 	rep.SLOFailures = checkSLO(cfg.SLO, rep)
+	if cfg.Chaos {
+		// The chaos contract is absolute, not a tunable bound: any corrupt
+		// byte or hang fails the run even with no SLO configured.
+		if rep.Corrupt > 0 {
+			rep.SLOFailures = append(rep.SLOFailures,
+				fmt.Sprintf("%d corrupt responses (chaos contract demands 0)", rep.Corrupt))
+		}
+		if rep.Hangs > 0 {
+			rep.SLOFailures = append(rep.SLOFailures,
+				fmt.Sprintf("%d hung requests past %s (chaos contract demands 0)", rep.Hangs, cfg.ChaosTimeout))
+		}
+	}
 	return rep
 }
 

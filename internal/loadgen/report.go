@@ -18,6 +18,9 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "target %s: %d requests in %s (%.1f rps, %d workers, %d errors)\n",
 		r.Target, r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Workers, r.Errors)
+	if r.Corrupt > 0 || r.Hangs > 0 {
+		fmt.Fprintf(&b, "chaos: %d corrupt responses, %d hangs\n", r.Corrupt, r.Hangs)
+	}
 	fmt.Fprintf(&b, "%-26s %8s %7s %10s %10s %10s %10s %10s\n",
 		"route", "reqs", "errs", "mean", "p50", "p95", "p99", "max")
 	for _, rs := range r.Routes {
@@ -86,8 +89,10 @@ func (r *Report) WriteBenchJSON(w io.Writer) error {
 		Iters:   r.Requests,
 		NsPerOp: weightedMeanNs(r),
 		Metrics: map[string]float64{
-			"rps":    r.Throughput,
-			"errors": float64(r.Errors),
+			"rps":     r.Throughput,
+			"errors":  float64(r.Errors),
+			"corrupt": float64(r.Corrupt),
+			"hangs":   float64(r.Hangs),
 		},
 	})
 	enc := json.NewEncoder(w)

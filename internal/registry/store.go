@@ -65,6 +65,10 @@ type StoreStats struct {
 	// Errors counts entries a persistent tier failed to read or write
 	// (each one logged and degraded to a miss or dropped write).
 	Errors int64 `json:"errors"`
+	// Quarantined counts undecodable files a persistent tier moved aside
+	// (the spool's quarantine/ directory) so they stop being rescanned
+	// every restart. A nonzero value means on-disk corruption happened.
+	Quarantined int64 `json:"quarantined,omitempty"`
 	// Entries is the current resident entry count; Topologies and
 	// Placements break it down per entry kind.
 	Entries    int `json:"entries"`

@@ -14,10 +14,12 @@
 // The Store contract shapes every failure path: a store never fails, it
 // misses. Concretely:
 //
-//   - timeouts, connection errors and 5xx responses degrade to a miss
-//     (the edge re-infers locally) and open an origin-level backoff
-//     window, exponential up to a bound, so a down origin costs one
-//     failed dial per window instead of one per request;
+//   - timeouts, connection errors and 5xx responses are retried a bounded
+//     number of times with jittered backoff (a single blip must not open
+//     the down window), then degrade to a miss (the edge re-infers
+//     locally) and open an origin-level backoff window, exponential up to
+//     a bound, so a down origin costs one failed fetch per window instead
+//     of one per request;
 //   - 4xx responses and undecodable bodies degrade to a miss and a
 //     per-key negative-cache entry, so a key the origin cannot serve is
 //     not re-requested on every lookup;
@@ -65,6 +67,14 @@ const (
 	// maxNegEntries bounds the per-key negative cache on edges with a
 	// varied key stream; past it, expired entries are swept on insert.
 	maxNegEntries = 1024
+	// defaultRetries is how many times an origin-level fetch failure is
+	// retried before degrading to a miss, and defaultRetryBase the base of
+	// the jittered delay between attempts. One retry at tens of
+	// milliseconds rides out a connection blip or a rolling restart
+	// without stretching a serving request, and stays well inside the
+	// origin-down window the final failure opens.
+	defaultRetries   = 1
+	defaultRetryBase = 25 * time.Millisecond
 )
 
 // Remote is a registry.Store that reads through an upstream mctopd.
@@ -75,7 +85,19 @@ type Remote struct {
 	negTTL     time.Duration
 	backoffMax time.Duration
 	logf       func(format string, args ...any)
-	now        func() time.Time // injectable for backoff tests
+	// now is the tier's clock: every negative-cache/backoff decision and
+	// every observed fetch duration reads it, never time.Now directly, so
+	// fault tests inject a clock (WithClock) and step through backoff
+	// windows instantly.
+	now func() time.Time
+
+	// retries/retryBase bound the in-call retry loop on origin faults;
+	// sleep and jitterState are the injectable delay machinery (tests make
+	// the sleep free; the jitter stream is seeded, not wall-clock).
+	retries     int
+	retryBase   time.Duration
+	sleep       func(d time.Duration)
+	jitterState uint64
 
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -150,9 +172,32 @@ func WithLogf(logf func(format string, args ...any)) Option {
 }
 
 // WithHTTPClient substitutes the HTTP client (the per-fetch timeout still
-// comes from WithTimeout, via the request context).
+// comes from WithTimeout, via the request context). This is also the seam
+// fault injection uses: a client whose Transport is a
+// faultinject.Transport makes the origin flap on demand.
 func WithHTTPClient(c *http.Client) Option {
 	return func(r *Remote) { r.client = c }
+}
+
+// WithClock substitutes the tier's clock (default time.Now). Every
+// negative-cache and backoff window decision reads it, so a test can hold
+// or step time and walk the tier through down/recovered transitions
+// deterministically, without sleeping through real windows.
+func WithClock(now func() time.Time) Option {
+	return func(r *Remote) { r.now = now }
+}
+
+// WithRetries bounds the in-call retry loop on origin-level fetch
+// failures (default 1; 0 disables retries). Retries are spaced by a
+// jittered multiple of base (default 25ms) — kept deliberately small so
+// the total retry budget stays inside one origin-down window.
+func WithRetries(n int, base time.Duration) Option {
+	return func(r *Remote) {
+		r.retries = n
+		if base > 0 {
+			r.retryBase = base
+		}
+	}
 }
 
 // WithObserver attaches a per-fetch callback: one call per upstream fetch
@@ -170,15 +215,19 @@ func WithObserver(fn func(d time.Duration, outcome string)) Option {
 // Remote over an unreachable origin constructs fine and simply misses.
 func New(base string, opts ...Option) *Remote {
 	r := &Remote{
-		base:       strings.TrimRight(base, "/"),
-		client:     &http.Client{},
-		timeout:    DefaultTimeout,
-		negTTL:     defaultNegTTL,
-		backoffMax: defaultBackoffMax,
-		logf:       func(format string, args ...any) { log.Printf("remote: "+format, args...) },
-		now:        time.Now,
-		inflight:   make(map[string]*call),
-		neg:        make(map[string]time.Time),
+		base:        strings.TrimRight(base, "/"),
+		client:      &http.Client{},
+		timeout:     DefaultTimeout,
+		negTTL:      defaultNegTTL,
+		backoffMax:  defaultBackoffMax,
+		logf:        func(format string, args ...any) { log.Printf("remote: "+format, args...) },
+		now:         time.Now,
+		retries:     defaultRetries,
+		retryBase:   defaultRetryBase,
+		sleep:       time.Sleep,
+		jitterState: 0x9E3779B97F4A7C15,
+		inflight:    make(map[string]*call),
+		neg:         make(map[string]time.Time),
 	}
 	for _, o := range opts {
 		o(r)
@@ -219,17 +268,14 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 	r.inflight[key] = c
 	r.mu.Unlock()
 
-	start := time.Now()
-	v, err, originFault := r.fetch(kind, key)
-	if r.observe != nil {
-		outcome := "ok"
-		switch {
-		case err != nil && originFault:
-			outcome = "origin_fault"
-		case err != nil:
-			outcome = "key_fault"
-		}
-		r.observe(time.Since(start), outcome)
+	v, err, originFault := r.fetchObserved(kind, key)
+	// Bounded retries on origin faults only: a connection blip or one 5xx
+	// is retried after a short jittered delay instead of immediately
+	// opening the origin-down window; key-level faults (4xx, undecodable
+	// bodies) retry nothing — the origin answered, the answer won't change.
+	for attempt := 0; err != nil && originFault && attempt < r.retries; attempt++ {
+		r.sleep(r.jitteredDelay(attempt))
+		v, err, originFault = r.fetchObserved(kind, key)
 	}
 	now = r.now()
 	r.mu.Lock()
@@ -283,6 +329,42 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 	r.hits.Add(1)
 	r.kindHits[kindIndex(kind)].Add(1)
 	return v, true
+}
+
+// fetchObserved is one fetch attempt plus its observer callback — each
+// retry attempt is observed individually, so the fetch-latency histogram
+// and outcome counters see every upstream request, not just the last.
+func (r *Remote) fetchObserved(kind registry.Kind, key string) (val any, err error, originFault bool) {
+	start := r.now()
+	val, err, originFault = r.fetch(kind, key)
+	if r.observe != nil {
+		outcome := "ok"
+		switch {
+		case err != nil && originFault:
+			outcome = "origin_fault"
+		case err != nil:
+			outcome = "key_fault"
+		}
+		r.observe(r.now().Sub(start), outcome)
+	}
+	return val, err, originFault
+}
+
+// jitteredDelay is the pause before retry attempt n: retryBase * 2^n,
+// scaled by a deterministic jitter in [0.5, 1.5) drawn from a seeded
+// stream (splitmix64) — never from the wall clock, so two runs with the
+// same fetch sequence delay identically.
+func (r *Remote) jitteredDelay(attempt int) time.Duration {
+	base := r.retryBase << attempt
+	r.mu.Lock()
+	r.jitterState += 0x9E3779B97F4A7C15
+	z := r.jitterState
+	r.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	frac := float64(z>>11) / (1 << 53) // [0, 1)
+	return time.Duration(float64(base) * (0.5 + frac))
 }
 
 // fetch performs one upstream GET and decodes the body per entry kind.

@@ -60,14 +60,19 @@ func encodeBody(t *testing.T, key string) []byte {
 	return buf.Bytes()
 }
 
-// newRemote builds a tier over base with fast test timeouts.
+// newRemote builds a tier over base with fast test timeouts. Retries are
+// off (the fetch-count assertions below want one dial per miss) and the
+// retry sleep is free — the retry tests opt back in explicitly.
 func newRemote(t *testing.T, base string, opts ...Option) *Remote {
 	t.Helper()
-	return New(base, append([]Option{
+	rm := New(base, append([]Option{
 		WithTimeout(2 * time.Second),
 		WithNegTTL(100 * time.Millisecond),
+		WithRetries(0, 0),
 		WithLogf(t.Logf),
 	}, opts...)...)
+	rm.sleep = func(time.Duration) {}
+	return rm
 }
 
 // edgeRegistry wraps a store chain in a registry whose local inference
@@ -179,8 +184,8 @@ func TestBackoffExpiresAndOriginRecovers(t *testing.T) {
 	now := time.Now()
 	var clock atomic.Pointer[time.Time]
 	clock.Store(&now)
-	rm := newRemote(t, ts.URL, WithNegTTL(time.Second))
-	rm.now = func() time.Time { return *clock.Load() }
+	rm := newRemote(t, ts.URL, WithNegTTL(time.Second),
+		WithClock(func() time.Time { return *clock.Load() }))
 
 	if _, ok := rm.Get(registry.KindTopology, testKey); ok {
 		t.Fatal("5xx produced a hit")
@@ -407,5 +412,122 @@ func TestPlacementFetchReconstructsViaTopology(t *testing.T) {
 	}
 	if requests.Load() != 3 {
 		t.Fatalf("second placement issued %d total requests, want 3 (topology memoized)", requests.Load())
+	}
+}
+
+// TestRetryRidesOutOriginBlip: one origin-level failure followed by a
+// healthy answer must hit on the first Get — the retry absorbs the blip
+// instead of opening the down window.
+func TestRetryRidesOutOriginBlip(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests.Add(1) == 1 {
+			http.Error(w, "blip", http.StatusInternalServerError)
+			return
+		}
+		w.Write(encodeBody(t, testKey))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	rm := newRemote(t, ts.URL, WithRetries(1, 10*time.Millisecond))
+	rm.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if _, ok := rm.Get(registry.KindTopology, testKey); !ok {
+		t.Fatal("retry did not ride out a single 5xx")
+	}
+	if requests.Load() != 2 {
+		t.Fatalf("origin saw %d requests, want 2 (failed + retried)", requests.Load())
+	}
+	if bs := rm.Backoff(); !bs.DownUntil.IsZero() || bs.ConsecutiveFails != 0 {
+		t.Fatalf("successful retry left backoff state %+v", bs)
+	}
+	// The jittered delay stays inside [base/2, 3*base/2) — well under one
+	// origin-down window.
+	if len(slept) != 1 || slept[0] < 5*time.Millisecond || slept[0] >= 15*time.Millisecond {
+		t.Fatalf("retry slept %v, want one jittered delay near 10ms", slept)
+	}
+}
+
+// TestRetriesBoundedThenBackoff: a hard-down origin is retried exactly
+// the configured number of times, then the miss opens the backoff window
+// as before — retries delay the window, they do not replace it.
+func TestRetriesBoundedThenBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.NewServeMux())
+	ts.Close()
+
+	rm := newRemote(t, ts.URL, WithNegTTL(time.Minute), WithRetries(2, time.Millisecond))
+	rm.sleep = func(time.Duration) {}
+	if _, ok := rm.Get(registry.KindTopology, testKey); ok {
+		t.Fatal("down origin produced a hit")
+	}
+	if got := rm.Fetches(); got != 3 {
+		t.Fatalf("down origin saw %d fetch attempts, want 3 (1 + 2 retries)", got)
+	}
+	if bs := rm.Backoff(); bs.DownUntil.IsZero() || bs.ConsecutiveFails == 0 {
+		t.Fatalf("exhausted retries did not open the backoff window: %+v", bs)
+	}
+	// Inside the window nothing dials — retries included.
+	if _, ok := rm.Get(registry.KindTopology, testKey); ok {
+		t.Fatal("hit during backoff")
+	}
+	if got := rm.Fetches(); got != 3 {
+		t.Fatalf("backoff window still dialed: %d fetches", got)
+	}
+}
+
+// TestKeyFaultsAreNotRetried: a 404 is the origin's answer, not a fault —
+// retrying it would only double the load on a healthy origin.
+func TestKeyFaultsAreNotRetried(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	rm := newRemote(t, ts.URL, WithRetries(3, time.Millisecond))
+	rm.sleep = func(time.Duration) {}
+	if _, ok := rm.Get(registry.KindTopology, testKey); ok {
+		t.Fatal("404 produced a hit")
+	}
+	if requests.Load() != 1 {
+		t.Fatalf("origin saw %d requests for a 404, want 1 (no retries)", requests.Load())
+	}
+}
+
+// TestInjectedClockDrivesWindowsWithoutSleeping: the WithClock seam walks
+// negative-cache expiry — no real time passes anywhere in the test.
+func TestInjectedClockDrivesWindowsWithoutSleeping(t *testing.T) {
+	var serve atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !serve.Load() {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(encodeBody(t, testKey))
+	}))
+	defer ts.Close()
+
+	now := time.Now()
+	var clock atomic.Pointer[time.Time]
+	clock.Store(&now)
+	rm := newRemote(t, ts.URL, WithNegTTL(time.Hour),
+		WithClock(func() time.Time { return *clock.Load() }))
+
+	if _, ok := rm.Get(registry.KindTopology, testKey); ok {
+		t.Fatal("404 produced a hit")
+	}
+	serve.Store(true)
+	if _, ok := rm.Get(registry.KindTopology, testKey); ok {
+		t.Fatal("negative cache did not mask the recovery")
+	}
+	if dials := rm.Fetches(); dials != 1 {
+		t.Fatalf("negative-cached key dialed anyway (%d fetches)", dials)
+	}
+	later := now.Add(2 * time.Hour)
+	clock.Store(&later)
+	if _, ok := rm.Get(registry.KindTopology, testKey); !ok {
+		t.Fatal("expired negative-cache entry did not refetch")
 	}
 }

@@ -21,12 +21,17 @@
 // dropped), every file lands via write-temp-then-rename so a crash can
 // never leave a torn file under a spool name, and Flush/Close drain the
 // queue — what mctopd calls on SIGTERM. Reads that hit an undecodable or
-// foreign file log, count an error, and report a miss: a broken disk
-// degrades to re-inference, never to a serving failure.
+// foreign file count an error, quarantine the file (moved under
+// quarantine/ so it is never rescanned, with the original bytes kept for
+// forensics), and report a miss: a broken disk degrades to re-inference,
+// never to a serving failure. A failed write flips the spool to a
+// degraded (effectively read-only) state — see Degraded — until a write
+// succeeds again; mctopd's /readyz reports it.
 package spool
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"log"
@@ -38,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/place"
 	"repro/internal/registry"
 	"repro/internal/topo"
@@ -49,6 +55,11 @@ const (
 	keyHeader    = "#key "
 	placeMagic   = "mctop-place 1"
 	writeBacklog = 64
+	// quarantineDir, under the spool directory, receives undecodable
+	// files. It is excluded from the startup scan (scan skips
+	// directories) and from the size/age bounds; Purge leaves it alone —
+	// quarantined files are corruption evidence, removed by operators.
+	quarantineDir = "quarantine"
 )
 
 // Spool is a registry.Store persisting entries as description files.
@@ -80,12 +91,22 @@ type Spool struct {
 	lastKey  string
 	lastTopo *topo.Topology
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	puts      atomic.Int64
-	errors    atomic.Int64
-	evictions atomic.Int64
-	kinds     kindCounters
+	hits        atomic.Int64
+	misses      atomic.Int64
+	puts        atomic.Int64
+	errors      atomic.Int64
+	evictions   atomic.Int64
+	quarantined atomic.Int64
+	kinds       kindCounters
+
+	// writeFailed flips on a failed file write and clears on the next
+	// success: while set, the spool is effectively read-only (new entries
+	// are not durable) and Degraded reports it.
+	writeFailed atomic.Bool
+
+	// faults, when non-nil, hosts the spool's injection points
+	// (faultinject.SpoolWrite/SpoolRead/SpoolScan). nil in production.
+	faults *faultinject.Set
 }
 
 // TierName implements registry's TierNamer extension.
@@ -139,10 +160,18 @@ func WithMaxAge(d time.Duration) Option {
 	return func(s *Spool) { s.maxAge = d }
 }
 
+// WithFaults arms the spool's fault-injection points (see
+// faultinject.SpoolWrite/SpoolRead/SpoolScan). A nil set is valid and
+// means no injection — the production default.
+func WithFaults(fs *faultinject.Set) Option {
+	return func(s *Spool) { s.faults = fs }
+}
+
 // New opens (creating if needed) a spool directory and scans it: files
-// with a readable key header become servable entries; undecodable,
-// foreign, or leftover temporary files are logged and skipped — a torn or
-// corrupt spool must never fail a daemon's startup.
+// with a readable key header become servable entries; undecodable or
+// foreign files are quarantined once (moved under quarantine/) and
+// leftover temporary files removed — a torn or corrupt spool must never
+// fail a daemon's startup, and must never be rescanned every restart.
 func New(dir string, opts ...Option) (*Spool, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("spool: %w", err)
@@ -198,19 +227,41 @@ func (s *Spool) scan() error {
 			continue
 		}
 		key, err := readKeyHeader(filepath.Join(s.dir, name))
+		if _, fired := s.faults.Eval(faultinject.SpoolScan); fired && err == nil {
+			err = fmt.Errorf("unreadable header (injected)")
+		}
 		if err != nil {
-			s.logf("skipping %s: %v", name, err)
-			s.errors.Add(1)
+			s.quarantine(name, err)
 			continue
 		}
 		if fileName(key, extOf(kind)) != name {
-			s.logf("skipping %s: key header does not match file name", name)
-			s.errors.Add(1)
+			s.quarantine(name, fmt.Errorf("key header names %q", key))
 			continue
 		}
 		s.entries[key] = kind
 	}
 	return nil
+}
+
+// quarantine moves one undecodable spool file under quarantine/, counting
+// it in both the error and quarantine counters. The move is what keeps a
+// corrupt file from being re-skipped on every restart (and, on the Get
+// path, from being re-decoded on every miss) while preserving its bytes
+// for inspection. If the move itself fails the file stays put — the old
+// skip-and-log behavior, just slower.
+func (s *Spool) quarantine(name string, reason error) {
+	s.errors.Add(1)
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		s.logf("quarantining %s: %v (file left in place)", name, err)
+		return
+	}
+	if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+		s.logf("quarantining %s: %v (file left in place)", name, err)
+		return
+	}
+	s.quarantined.Add(1)
+	s.logf("quarantined %s: %v", name, reason)
 }
 
 func extOf(kind registry.Kind) string {
@@ -292,17 +343,26 @@ func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
 		v   any
 		err error
 	)
-	switch kind {
-	case registry.KindTopology:
-		v, err = s.loadTopology(key)
-	case registry.KindPlacement:
-		v, err = s.loadPlacement(key)
-	default:
-		err = fmt.Errorf("unknown entry kind %v", kind)
+	if o, fired := s.faults.Eval(faultinject.SpoolRead); fired {
+		err = o.Err(faultinject.SpoolRead)
+	} else {
+		switch kind {
+		case registry.KindTopology:
+			v, err = s.loadTopology(key)
+		case registry.KindPlacement:
+			v, err = s.loadPlacement(key)
+		default:
+			err = fmt.Errorf("unknown entry kind %v", kind)
+		}
 	}
 	if err != nil {
-		s.logf("skipping %s: %v", fileName(key, extOf(kind)), err)
-		s.errors.Add(1)
+		// An entry that indexed at scan but fails to decode is corrupt
+		// (or, for a sidecar, references a corrupt topology): quarantine
+		// the requested entry's file so the next Get is a clean miss
+		// instead of another decode of the same broken bytes. The caller
+		// re-infers/fetches and re-Puts, restoring a good file.
+		s.dropEntry(key)
+		s.quarantine(fileName(key, extOf(kind)), err)
 		s.misses.Add(1)
 		s.kinds.misses[kindIndex(kind)].Add(1)
 		return nil, false
@@ -310,6 +370,18 @@ func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
 	s.hits.Add(1)
 	s.kinds.hits[kindIndex(kind)].Add(1)
 	return v, true
+}
+
+// dropEntry removes one key from the index and the decode memo.
+func (s *Spool) dropEntry(key string) {
+	s.mu.Lock()
+	delete(s.entries, key)
+	s.mu.Unlock()
+	s.lastMu.Lock()
+	if s.lastKey == key {
+		s.lastKey, s.lastTopo = "", nil
+	}
+	s.lastMu.Unlock()
 }
 
 func (s *Spool) loadTopology(key string) (*topo.Topology, error) {
@@ -439,15 +511,73 @@ func (s *Spool) write(op writeOp) {
 		return
 	}
 	path := filepath.Join(s.dir, fileName(op.key, extOf(op.kind)))
+	if o, fired := s.faults.Eval(faultinject.SpoolWrite); fired {
+		s.failWrite(op, path, encode, o)
+		return
+	}
 	if err := topo.WriteFileAtomic(path, encode); err != nil {
 		s.logf("writing %q: %v", op.key, err)
 		s.errors.Add(1)
+		s.writeFailed.Store(true)
 		return
 	}
+	s.writeFailed.Store(false)
 	s.puts.Add(1)
 	s.mu.Lock()
 	s.entries[op.key] = op.kind
 	s.mu.Unlock()
+}
+
+// failWrite executes an injected spool.write fault. Modes "enospc",
+// "eperm" and the default fail the write outright — the disk-full /
+// permission-lost shape, flipping the spool degraded. Mode "torn" lands a
+// half-written file directly under the final spool name and indexes it:
+// the shape of a crash mid-write on a filesystem without atomic rename,
+// which the quarantine path must absorb on the next Get or restart scan.
+func (s *Spool) failWrite(op writeOp, path string, encode func(io.Writer) error, o faultinject.Outcome) {
+	switch o.Mode {
+	case "torn", "short":
+		var buf bytes.Buffer
+		if err := encode(&buf); err != nil {
+			s.logf("writing %q: %v", op.key, err)
+			s.errors.Add(1)
+			return
+		}
+		torn := buf.Bytes()[:buf.Len()/2]
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			s.logf("writing %q: %v", op.key, err)
+			s.errors.Add(1)
+			s.writeFailed.Store(true)
+			return
+		}
+		s.logf("writing %q: torn write injected (%d of %d bytes)", op.key, len(torn), buf.Len())
+		s.errors.Add(1)
+		// Index the torn file like a completed write would: serving it is
+		// exactly the corruption the read path's quarantine must catch.
+		s.mu.Lock()
+		s.entries[op.key] = op.kind
+		s.mu.Unlock()
+		s.lastMu.Lock()
+		if s.lastKey == op.key {
+			s.lastKey, s.lastTopo = "", nil
+		}
+		s.lastMu.Unlock()
+	default: // "enospc", "eperm", "fail", ...
+		s.logf("writing %q: %v", op.key, o.Err(faultinject.SpoolWrite))
+		s.errors.Add(1)
+		s.writeFailed.Store(true)
+	}
+}
+
+// Degraded reports whether the spool is effectively read-only: the most
+// recent file write failed (disk full, permissions, ...), so new entries
+// are not landing durably. It self-heals — the next successful write
+// clears it. mctopd's /readyz surfaces this as a degraded spool tier.
+func (s *Spool) Degraded() (bool, string) {
+	if s.writeFailed.Load() {
+		return true, "last write failed; spool is effectively read-only"
+	}
+	return false, ""
 }
 
 // Len implements registry.Store.
@@ -479,12 +609,13 @@ func (s *Spool) Purge() {
 // Stats implements registry.Store.
 func (s *Spool) Stats() []registry.StoreStats {
 	st := registry.StoreStats{
-		Tier:      "spool",
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Puts:      s.puts.Load(),
-		Errors:    s.errors.Load(),
-		Evictions: s.evictions.Load(),
+		Tier:        "spool",
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Errors:      s.errors.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
 	}
 	s.mu.Lock()
 	for _, kind := range s.entries {

@@ -228,6 +228,11 @@ type Store = registry.Store
 // RegistryStats.Tiers.
 type StoreStats = registry.StoreStats
 
+// InferCtxFunc is the registry's compute path: the context-aware
+// simulate → infer → enrich pipeline a Registry falls back to when every
+// cache tier misses.
+type InferCtxFunc = registry.InferCtxFunc
+
 // RegistryOption configures NewRegistry beyond the entry bound.
 type RegistryOption func(*registryConfig)
 
@@ -237,6 +242,7 @@ type registryConfig struct {
 	spoolMaxBytes int64
 	spoolMaxAge   time.Duration
 	upstream      string
+	inferWrap     func(InferCtxFunc) InferCtxFunc
 }
 
 // WithStore installs a custom cache store — typically a NewTieredStore
@@ -280,6 +286,23 @@ func WithSpoolLimits(maxBytes int64, maxAge time.Duration) RegistryOption {
 // dial per window rather than per-request latency.
 func WithUpstream(originURL string) RegistryOption {
 	return func(c *registryConfig) { c.upstream = originURL }
+}
+
+// WithInferWrapper interposes on the registry's compute path: wrap
+// receives the default inference pipeline and returns the InferCtxFunc
+// the registry will actually call on a full-chain miss. Use it to add
+// cross-cutting behavior — latency injection for chaos testing, tracing,
+// admission control — without reimplementing inference:
+//
+//	reg := mctop.NewRegistry(256, mctop.WithInferWrapper(
+//		func(next mctop.InferCtxFunc) mctop.InferCtxFunc {
+//			return func(ctx context.Context, p string, s uint64, o mctop.Options) (*mctop.Topology, error) {
+//				log.Printf("inferring %s/%d", p, s)
+//				return next(ctx, p, s, o)
+//			}
+//		}))
+func WithInferWrapper(wrap func(InferCtxFunc) InferCtxFunc) RegistryOption {
+	return func(c *registryConfig) { c.inferWrap = wrap }
 }
 
 // OpenSpool opens (creating if needed) a description-file spool directory
@@ -360,13 +383,17 @@ func NewRegistry(maxEntries int, opts ...RegistryOption) *Registry {
 		}
 		c.store = registry.NewTiered(tiers...)
 	}
+	infer := InferCtxFunc(func(ctx context.Context, platform string, seed uint64, opt Options) (*Topology, error) {
+		t, _, err := inferPlatform(ctx, platform, seed, opt)
+		return t, err
+	})
+	if c.inferWrap != nil {
+		infer = c.inferWrap(infer)
+	}
 	return registry.New(registry.Options{
 		MaxEntries: maxEntries,
 		Store:      c.store,
-		InferCtx: func(ctx context.Context, platform string, seed uint64, opt Options) (*Topology, error) {
-			t, _, err := inferPlatform(ctx, platform, seed, opt)
-			return t, err
-		},
+		InferCtx:   infer,
 	})
 }
 
