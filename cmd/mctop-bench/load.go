@@ -27,7 +27,7 @@ func loadMain(args []string) int {
 		maxReqs  = fs.Int64("max-requests", 0, "stop after this many requests, if > 0 (whichever of this and -duration comes first)")
 		warmup   = fs.Duration("warmup", 0, "discard observations made before this elapses")
 		mixFlag  = fs.String("mix", "topology=1,place=1",
-			"route mix weights: topology=N,place=N,batch=N,stream=N")
+			"route mix weights: topology=N,place=N,mapdag=N,batch=N,stream=N")
 		platforms = fs.String("platforms", "", "comma-separated platforms (default: all five)")
 		reps      = fs.Int("reps", 0, "inference repetitions sent with every request (0 = daemon default)")
 		warmSeeds = fs.Int("warm-seeds", 2, "warm seed pool size (seeds 1..N repeat, so they cache-hit after first use)")
@@ -134,15 +134,17 @@ func parseMix(s string) (loadgen.Mix, error) {
 			m.Topology = w
 		case "place":
 			m.Place = w
+		case "mapdag":
+			m.MapDAG = w
 		case "batch":
 			m.Batch = w
 		case "stream":
 			m.Stream = w
 		default:
-			return m, fmt.Errorf("unknown mix route %q (topology, place, batch, stream)", name)
+			return m, fmt.Errorf("unknown mix route %q (topology, place, mapdag, batch, stream)", name)
 		}
 	}
-	if m.Topology+m.Place+m.Batch+m.Stream == 0 {
+	if m.Topology+m.Place+m.MapDAG+m.Batch+m.Stream == 0 {
 		return m, fmt.Errorf("mix %q has no positive weight", s)
 	}
 	return m, nil

@@ -19,6 +19,12 @@
 //	mctop import -spool /var/lib/mctop/spool ivy.mctop westmere.mctop
 //	mctop fetch -origin http://origin:8077 -platform Ivy -seed 42 -o ivy.mctop
 //
+// The map subcommand reads task DAGs from NDJSON files and maps each onto
+// a platform's topology (internal/taskmap), locally or via a daemon:
+//
+//	mctop map -platform Ivy -refine 5000 wordcount.dag
+//	mctop map -origin http://origin:8077 wordcount.dag pipeline.dag
+//
 // export resolves the topology through a spool-backed registry — a spool
 // hit costs a file decode, a miss runs the inference and leaves the spool
 // populated — and writes a description file carrying its registry key as a
@@ -61,6 +67,9 @@ func main() {
 			return
 		case "fetch":
 			runFetch(os.Args[2:])
+			return
+		case "map":
+			runMap(os.Args[2:])
 			return
 		}
 	}

@@ -12,16 +12,19 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	mctop "repro"
 	"repro/internal/faultinject"
 	"repro/internal/loadgen"
+	"repro/internal/mctoperr"
 	"repro/internal/remote"
 	"repro/internal/spool"
 )
@@ -52,6 +55,88 @@ func chaosStats(t *testing.T, ts *httptest.Server) (ready bool, degraded []strin
 		quarantined += tier.Quarantined
 	}
 	return st.Ready, degraded, quarantined
+}
+
+// TestChaosMapperDegradesAndHeals drives the registry.map injection point
+// through the same wiring run() builds for -faults: an injected mapping
+// failure is an honest 503 + Retry-After (never a wrong assignment), warm
+// mappings keep serving from cache throughout, /readyz flips to 503 with
+// the mapper tier listed, and the first clean compute heals it back.
+func TestChaosMapperDegradesAndHeals(t *testing.T) {
+	fs := faultinject.New(11)
+	var mapperFailed atomic.Bool
+	reg := mctop.NewRegistry(64, mctop.WithMapWrapper(func(next mctop.MapFunc) mctop.MapFunc {
+		return func(ctx context.Context, top *mctop.Topology, d *mctop.TaskDAG, opt mctop.MapOptions) (*mctop.Mapping, error) {
+			if o, fired := fs.Eval(faultinject.RegistryMap); fired {
+				if err := o.Delay(ctx); err != nil {
+					return nil, err
+				}
+				if o.Mode != "slow" {
+					mapperFailed.Store(true)
+					return nil, fmt.Errorf("%w: mapper: %v", mctoperr.ErrSaturated, o.Err(faultinject.RegistryMap))
+				}
+			}
+			m, err := next(ctx, top, d, opt)
+			if err == nil {
+				mapperFailed.Store(false)
+			}
+			return m, err
+		}
+	}))
+	s := newServerWith(reg, 51, 32)
+	s.readiness = []readyProbe{{tier: "mapper", check: func() (bool, string) {
+		if mapperFailed.Load() {
+			return true, "last mapping compute failed"
+		}
+		return false, ""
+	}}}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	warm := mapBody(t, mapRequest{Platform: "Ivy", DAG: mapTestDAG()})
+	cold := func(name string) string {
+		d := mapTestDAG()
+		d.Name = name
+		d.Nodes[0].Work += int64(len(name)) // distinct hash → cache miss
+		return mapBody(t, mapRequest{Platform: "Ivy", DAG: d})
+	}
+
+	// Healthy: warm one mapping, readiness green.
+	if resp, raw := postMap(t, ts, warm); resp.StatusCode != 200 {
+		t.Fatalf("healthy map: %d %s", resp.StatusCode, raw)
+	}
+	if resp, _ := get(t, ts, "/readyz"); resp.StatusCode != 200 {
+		t.Fatalf("/readyz = %d before any fault", resp.StatusCode)
+	}
+
+	// Two computes fail; cache hits never touch the injection point.
+	fs.Add(faultinject.Fault{Point: faultinject.RegistryMap, Mode: "fail", Count: 2})
+	for i := 0; i < 2; i++ {
+		resp, raw := postMap(t, ts, cold(fmt.Sprintf("miss-%d", i)))
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("faulted map %d: %d %s, want 503", i, resp.StatusCode, raw)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("faulted map %d: 503 without Retry-After", i)
+		}
+	}
+	if resp, raw := postMap(t, ts, warm); resp.StatusCode != 200 {
+		t.Fatalf("warm map during faults: %d %s, want cached 200", resp.StatusCode, raw)
+	}
+	if resp, _ := get(t, ts, "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d with failed mapper, want 503", resp.StatusCode)
+	}
+	if ready, degraded, _ := chaosStats(t, ts); ready || len(degraded) != 1 || degraded[0] != "mapper" {
+		t.Fatalf("stats hide the mapper degradation: ready=%v degraded=%v", ready, degraded)
+	}
+
+	// The rules are spent: the next fresh compute succeeds and heals.
+	if resp, raw := postMap(t, ts, cold("heal")); resp.StatusCode != 200 {
+		t.Fatalf("post-fault map: %d %s", resp.StatusCode, raw)
+	}
+	if resp, _ := get(t, ts, "/readyz"); resp.StatusCode != 200 {
+		t.Fatalf("/readyz = %d after a clean compute, want 200", resp.StatusCode)
+	}
 }
 
 func TestChaosFleetServesOnlyGoldenBytes(t *testing.T) {
@@ -120,7 +205,7 @@ func TestChaosFleetServesOnlyGoldenBytes(t *testing.T) {
 			Workers:      3,
 			Duration:     2 * time.Minute, // the request bound fires first
 			MaxRequests:  n,
-			Mix:          loadgen.Mix{Topology: 2, Place: 2, Batch: 1, Stream: 1},
+			Mix:          loadgen.Mix{Topology: 2, Place: 2, MapDAG: 1, Batch: 1, Stream: 1},
 			Platforms:    []string{"Ivy"},
 			Reps:         51,
 			WarmSeeds:    2,

@@ -156,6 +156,56 @@ func TestFleetEdgeServesOriginByteIdentically(t *testing.T) {
 	}
 }
 
+// TestFleetEdgeServesMappingFromOrigin: the mapping kind rides the same
+// fleet plumbing. An origin warmed through POST /v1/map serves the .map
+// sidecar over /v1/export; an edge posting the same DAG answers with the
+// identical assignment and cost while running zero local mapping computes.
+func TestFleetEdgeServesMappingFromOrigin(t *testing.T) {
+	originSrv, originReg := spoolServer(t, t.TempDir())
+	origin := httptest.NewServer(originSrv.routes())
+	defer origin.Close()
+
+	d := mapTestDAG()
+	body := mapBody(t, mapRequest{Platform: "Haswell", Refine: 200, DAG: d})
+	resp, raw := postMap(t, origin, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("origin map: %d %s", resp.StatusCode, raw)
+	}
+	var originResp mapResponse
+	if err := json.Unmarshal(raw, &originResp); err != nil {
+		t.Fatal(err)
+	}
+	if got := originReg.Stats().Mappings; got != 1 {
+		t.Fatalf("origin ran %d mapping computes, want 1", got)
+	}
+
+	edgeSrv, edgeReg := edgeServer(t, origin.URL)
+	edge := httptest.NewServer(edgeSrv.routes())
+	defer edge.Close()
+	resp, raw = postMap(t, edge, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("edge map: %d %s", resp.StatusCode, raw)
+	}
+	var edgeResp mapResponse
+	if err := json.Unmarshal(raw, &edgeResp); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(edgeResp.Result.Assignment) != fmt.Sprint(originResp.Result.Assignment) ||
+		edgeResp.Result.CostCycles != originResp.Result.CostCycles {
+		t.Fatalf("edge mapping differs from origin:\n%+v\nvs\n%+v", edgeResp.Result, originResp.Result)
+	}
+	st := edgeReg.Stats()
+	if st.Mappings != 0 {
+		t.Fatalf("edge ran %d local mapping computes, want 0 (remote fetch)", st.Mappings)
+	}
+	if _, _, tiers := tierStats(t, edge); tiers["remote"] == 0 {
+		t.Fatalf("edge /v1/stats shows no remote-tier hits: %v", tiers)
+	}
+	if got := originReg.Stats().Mappings; got != 1 {
+		t.Fatalf("serving the edge cost the origin %d extra mapping computes", got-1)
+	}
+}
+
 // TestFleetEdgeWithSpoolPersistsFetchedEntries: an edge with its own spool
 // write-through-promotes fetched description files to disk, so a restarted
 // edge serves them with zero inferences AND zero origin fetches — the

@@ -47,7 +47,7 @@ func TestLoadHarnessDrivesFleet(t *testing.T) {
 		Workers:     4,
 		Duration:    2 * time.Minute, // the request bound fires first
 		MaxRequests: 160,
-		Mix:         loadgen.Mix{Topology: 2, Place: 2, Batch: 1, Stream: 1},
+		Mix:         loadgen.Mix{Topology: 2, Place: 2, MapDAG: 1, Batch: 1, Stream: 1},
 		Platforms:   []string{"Ivy", "Haswell"},
 		Reps:        51, // keeps the origin's cold inferences fast
 		WarmSeeds:   2,
@@ -79,10 +79,16 @@ func TestLoadHarnessDrivesFleet(t *testing.T) {
 
 	// Fleet invariant under load: the edge never inferred or computed —
 	// everything was a local cache hit or a fetch of the origin's entries.
+	// Mappings are the exception by design: the origin has never seen these
+	// DAGs (mapping keys are hash-addressed, so /v1/export cannot compute
+	// one on demand), so the edge maps locally over fetched topologies.
 	edgeStats := edgeReg.Stats()
 	if edgeStats.Inferences != 0 || edgeStats.Placements != 0 {
 		t.Fatalf("edge computed locally under load: %d inferences, %d placements",
 			edgeStats.Inferences, edgeStats.Placements)
+	}
+	if edgeStats.Mappings == 0 {
+		t.Fatal("mapdag mix drove no mapping computes on the edge")
 	}
 	if originReg.Stats().Inferences == 0 {
 		t.Fatal("origin ran no inferences — the load never reached it")
@@ -98,6 +104,7 @@ func TestLoadHarnessDrivesFleet(t *testing.T) {
 	wantSample(t, m, "mctopd_registry_misses_total", float64(st.Misses))
 	wantSample(t, m, "mctopd_registry_inferences_total", float64(st.Inferences))
 	wantSample(t, m, "mctopd_registry_placements_total", float64(st.Placements))
+	wantSample(t, m, "mctopd_registry_mappings_total", float64(st.Mappings))
 	wantSample(t, m, "mctopd_registry_entries", float64(st.Entries))
 	for _, tier := range st.Tiers {
 		for kind, ks := range tier.Kinds {

@@ -40,6 +40,11 @@
 //	GET  /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
 //	GET  /v1/place?platform=Ivy&seed=42&policy=RR_CORE&threads=8
 //	POST /v1/place/batch                   many placements, one topology lookup
+//	POST /v1/map                           topology-aware task-graph mapping:
+//	                                       a DAG (or batch of DAGs) in, a
+//	                                       task → hardware-context assignment
+//	                                       and its estimated completion time
+//	                                       out, memoized by DAG hash
 //	POST /v1/place/batch?stream=1          the same, as NDJSON: one line per
 //	                                       placement as each completes,
 //	                                       per-item errors inline
@@ -96,6 +101,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -223,6 +229,7 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 		}
 		regOpts = append(regOpts, mctop.WithStore(mctop.NewTieredStore(tiers...)))
 	}
+	var mapperFailed atomic.Bool
 	if faults != nil {
 		// The registry.infer point: a fired rule delays and/or fails the
 		// compute path itself, the slowest thing a request can wait on.
@@ -239,6 +246,28 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 				return next(ctx, platform, seed, opt)
 			}
 		}))
+		// The registry.map point: same shape on the mapping compute path.
+		// An injected failure wraps ErrSaturated (an honest 503 +
+		// Retry-After, never a wrong assignment) and flips the mapper
+		// readiness probe until a mapping computes cleanly again.
+		regOpts = append(regOpts, mctop.WithMapWrapper(func(next mctop.MapFunc) mctop.MapFunc {
+			return func(ctx context.Context, t *mctop.Topology, d *mctop.TaskDAG, opt mctop.MapOptions) (*mctop.Mapping, error) {
+				if o, fired := faults.Eval(faultinject.RegistryMap); fired {
+					if err := o.Delay(ctx); err != nil {
+						return nil, err
+					}
+					if o.Mode != "slow" {
+						mapperFailed.Store(true)
+						return nil, fmt.Errorf("%w: mapper: %v", mctoperr.ErrSaturated, o.Err(faultinject.RegistryMap))
+					}
+				}
+				m, err := next(ctx, t, d, opt)
+				if err == nil {
+					mapperFailed.Store(false)
+				}
+				return m, err
+			}
+		}))
 	}
 	reg := mctop.NewRegistry(cfg.cache, regOpts...)
 	s = newServerWith(reg, cfg.reps, cfg.maxInflight)
@@ -247,6 +276,14 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 	s.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if sp != nil {
 		s.readiness = append(s.readiness, readyProbe{tier: "spool", check: sp.Degraded})
+	}
+	if faults != nil {
+		s.readiness = append(s.readiness, readyProbe{tier: "mapper", check: func() (bool, string) {
+			if mapperFailed.Load() {
+				return true, "last mapping compute failed; mappings are degraded until one succeeds"
+			}
+			return false, ""
+		}})
 	}
 	if rs != nil {
 		s.metrics.observeRemote(cfg.upstream, rs)
@@ -362,6 +399,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/topology", s.handleTopology)
 	mux.HandleFunc("/v1/place", s.handlePlace)
 	mux.HandleFunc("/v1/place/batch", s.handlePlaceBatch)
+	mux.HandleFunc("/v1/map", s.handleMap)
 	mux.HandleFunc("/v1/export", s.handleExport)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
@@ -950,9 +988,30 @@ func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
+	case strings.HasPrefix(key, "map|"):
+		// Mapping keys identify the DAG by hash alone — the key cannot
+		// reconstruct the DAG, so an origin serves mappings warm-only: a
+		// mapping somebody POSTed to /v1/map is exportable; one nobody
+		// computed is an honest 404 (the edge then computes locally). A
+		// key that could never name an entry is a 400, per ParseMapKey's
+		// ErrInvalidRequest contract.
+		topoKey, _, _, _, _, err := registry.ParseMapKey(key)
+		if err != nil {
+			writeErrStatus(w, err)
+			return
+		}
+		v, ok := s.reg.Store().Get(registry.KindMapping, key)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("mapping %q is not cached on this daemon", key))
+			return
+		}
+		if err := spool.EncodeMapSidecar(&buf, key, topoKey, v.(*mctop.Mapping)); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
 	default:
 		writeErr(w, http.StatusNotFound,
-			fmt.Errorf("%w: key %q is neither a topology nor a placement key", mctoperr.ErrInvalidRequest, key))
+			fmt.Errorf("%w: key %q is not a topology, placement or mapping key", mctoperr.ErrInvalidRequest, key))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

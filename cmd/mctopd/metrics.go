@@ -28,12 +28,14 @@ type daemonMetrics struct {
 	servedByTier *metrics.CounterVec // tier ("lru", "spool", "remote", "computed", "coalesced")
 	inferDur     *metrics.Histogram
 	placeDur     *metrics.Histogram
+	mapDur       *metrics.Histogram
 
 	// Mirrored from registry.Stats() at scrape time (BeforeScrape).
 	regHits        *metrics.Counter
 	regMisses      *metrics.Counter
 	regInferences  *metrics.Counter
 	regPlacements  *metrics.Counter
+	regMappings    *metrics.Counter
 	regEvictions   *metrics.Counter
 	regEntries     *metrics.Gauge
 	storeGets      *metrics.CounterVec // tier, kind, result ("hit" | "miss")
@@ -76,6 +78,9 @@ func newDaemonMetrics() *daemonMetrics {
 		placeDur: r.NewHistogram("mctopd_placement_duration_seconds",
 			"Wall time of computed placements (cache hits not included).",
 			metrics.DefDurationBuckets),
+		mapDur: r.NewHistogram("mctopd_mapping_duration_seconds",
+			"Wall time of computed task-graph mappings (cache hits not included).",
+			metrics.DefDurationBuckets),
 		regHits: r.NewCounter("mctopd_registry_hits_total",
 			"Registry lookups answered from the store (any tier)."),
 		regMisses: r.NewCounter("mctopd_registry_misses_total",
@@ -84,6 +89,8 @@ func newDaemonMetrics() *daemonMetrics {
 			"Topology inferences actually executed."),
 		regPlacements: r.NewCounter("mctopd_registry_placements_total",
 			"Placements actually computed."),
+		regMappings: r.NewCounter("mctopd_registry_mappings_total",
+			"Task-graph mappings actually computed."),
 		regEvictions: r.NewCounter("mctopd_registry_evictions_total",
 			"Entries dropped by a capacity bound, summed over tiers."),
 		regEntries: r.NewGauge("mctopd_registry_entries",
@@ -152,6 +159,7 @@ func (d *daemonMetrics) observeServer(s *server) {
 	s.reg.Instrument(&registry.Observer{
 		OnInference: func(dur time.Duration, err error) { d.inferDur.Observe(dur.Seconds()) },
 		OnPlacement: func(dur time.Duration, err error) { d.placeDur.Observe(dur.Seconds()) },
+		OnMapping:   func(dur time.Duration, err error) { d.mapDur.Observe(dur.Seconds()) },
 	})
 	d.reg.BeforeScrape(func() {
 		st := s.reg.Stats()
@@ -159,6 +167,7 @@ func (d *daemonMetrics) observeServer(s *server) {
 		d.regMisses.Set(st.Misses)
 		d.regInferences.Set(st.Inferences)
 		d.regPlacements.Set(st.Placements)
+		d.regMappings.Set(st.Mappings)
 		d.regEvictions.Set(st.Evictions)
 		d.regEntries.Set(float64(st.Entries))
 		var quarantined float64
@@ -217,7 +226,7 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/platforms", "/v1/policies", "/v1/topology", "/v1/place",
-		"/v1/place/batch", "/v1/export", "/v1/stats":
+		"/v1/place/batch", "/v1/map", "/v1/export", "/v1/stats":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {

@@ -62,6 +62,9 @@ const (
 	// RegistryInfer fires before a topology inference executes. Modes:
 	// "fail" returns an error, "latency"/"slow" delays the compute.
 	RegistryInfer = "registry.infer"
+	// RegistryMap fires before a task-graph mapping computes. Modes:
+	// "fail" returns an error, "latency"/"slow" delays the compute.
+	RegistryMap = "registry.map"
 )
 
 // ErrInjected is the sentinel every injected failure wraps, so tests and

@@ -30,6 +30,9 @@ type ChaosState struct {
 	topo map[string][]byte
 	// place: "platform|seed|policy|nthreads" → fmt.Sprint of the contexts.
 	place map[string]string
+	// mapg: "platform|seed" → fmt.Sprint of (assignment, cost). One golden
+	// per pair is sound because the generator derives the DAG from the seed.
+	mapg map[string]string
 }
 
 // NewChaosState returns an empty golden store.
@@ -37,6 +40,7 @@ func NewChaosState() *ChaosState {
 	return &ChaosState{
 		topo:  make(map[string][]byte),
 		place: make(map[string]string),
+		mapg:  make(map[string]string),
 	}
 }
 
@@ -65,6 +69,21 @@ func (c *ChaosState) checkPlace(platform string, seed uint64, policy string, nTh
 	golden, ok := c.place[k]
 	if !ok {
 		c.place[k] = v
+		return true
+	}
+	return golden == v
+}
+
+// checkMap is checkTopology for one mapping answer: the assignment and its
+// priced cost must match the first-seen golden for (platform, seed).
+func (c *ChaosState) checkMap(platform string, seed uint64, assign []int, cost int64) bool {
+	k := fmt.Sprintf("%s|%d", platform, seed)
+	v := fmt.Sprintf("%v@%d", assign, cost)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	golden, ok := c.mapg[k]
+	if !ok {
+		c.mapg[k] = v
 		return true
 	}
 	return golden == v
@@ -111,6 +130,21 @@ func (c *ChaosState) verify(route, platform string, seed uint64, body []byte) bo
 			}
 		}
 		return true
+	case RouteMap:
+		var resp struct {
+			Result *struct {
+				Error      string `json:"error"`
+				CostCycles int64  `json:"cost_cycles"`
+				Assignment []int  `json:"assignment"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil || resp.Result == nil {
+			return false
+		}
+		if resp.Result.Error != "" {
+			return true // honest inline refusal, not corruption
+		}
+		return c.checkMap(platform, seed, resp.Result.Assignment, resp.Result.CostCycles)
 	case RouteStream:
 		for _, line := range bytes.Split(body, []byte("\n")) {
 			if len(bytes.TrimSpace(line)) == 0 {

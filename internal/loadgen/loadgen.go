@@ -27,14 +27,17 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/graph"
 )
 
-// Route names the four request shapes the generator issues.
+// Route names the five request shapes the generator issues.
 const (
 	RouteTopology = "/v1/topology"
 	RoutePlace    = "/v1/place"
 	RouteBatch    = "/v1/place/batch"
 	RouteStream   = "/v1/place/batch?stream=1"
+	RouteMap      = "/v1/map"
 )
 
 // Mix weights the request shapes; a zero weight disables the shape. The
@@ -42,18 +45,19 @@ const (
 type Mix struct {
 	Topology int
 	Place    int
+	MapDAG   int
 	Batch    int
 	Stream   int
 }
 
 func (m Mix) normalized() Mix {
-	if m.Topology <= 0 && m.Place <= 0 && m.Batch <= 0 && m.Stream <= 0 {
+	if m.Topology <= 0 && m.Place <= 0 && m.MapDAG <= 0 && m.Batch <= 0 && m.Stream <= 0 {
 		return Mix{Topology: 1, Place: 1}
 	}
 	return m
 }
 
-func (m Mix) total() int { return m.Topology + m.Place + m.Batch + m.Stream }
+func (m Mix) total() int { return m.Topology + m.Place + m.MapDAG + m.Batch + m.Stream }
 
 // SLO bounds a run: a Report lists every violated bound in SLOFailures.
 // Zero-valued fields are unchecked.
@@ -300,8 +304,15 @@ func issueOne(ctx context.Context, cfg Config, rng *rand.Rand, coldSeed *atomic.
 			"&threads=" + strconv.Itoa(1+rng.Intn(cfg.MaxThreads))
 		req, err = http.NewRequestWithContext(reqCtx, http.MethodGet,
 			cfg.Target+"/v1/place?"+q, nil)
+	case n < cfg.Mix.Topology+cfg.Mix.Place+cfg.Mix.MapDAG:
+		route = RouteMap
+		req, err = http.NewRequestWithContext(reqCtx, http.MethodPost,
+			cfg.Target+"/v1/map", bytes.NewReader(mapDAGBody(cfg, platform, seed)))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
 	default:
-		stream := n >= cfg.Mix.Topology+cfg.Mix.Place+cfg.Mix.Batch
+		stream := n >= cfg.Mix.Topology+cfg.Mix.Place+cfg.Mix.MapDAG+cfg.Mix.Batch
 		route = RouteBatch
 		path := "/v1/place/batch"
 		if stream {
@@ -369,6 +380,23 @@ func commonQuery(cfg Config, platform string, seed uint64) string {
 		q += "&reps=" + strconv.Itoa(cfg.Reps)
 	}
 	return q
+}
+
+// mapDAGBody builds one /v1/map request. The DAG is generated from the
+// request's own seed, so the warm-seed pool memoizes mappings exactly like
+// topologies (same seed → same DAG → registry cache hit) and the chaos
+// golden key "platform|seed" pins one deterministic answer per pair.
+func mapDAGBody(cfg Config, platform string, seed uint64) []byte {
+	d := graph.GenTaskDAG(graph.DAGParams{}, seed)
+	body := struct {
+		Platform string         `json:"platform"`
+		Seed     *uint64        `json:"seed"`
+		Reps     int            `json:"reps,omitempty"`
+		Refine   int            `json:"refine,omitempty"`
+		DAG      *graph.TaskDAG `json:"dag"`
+	}{Platform: platform, Seed: &seed, Reps: cfg.Reps, Refine: 200, DAG: d}
+	b, _ := json.Marshal(body)
+	return b
 }
 
 func batchBody(cfg Config, rng *rand.Rand, platform string, seed uint64) []byte {

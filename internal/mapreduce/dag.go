@@ -1,0 +1,57 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+// ExportDAG models a Metis job as a task DAG for the taskmap engine: nMap
+// map tasks shuffling all-to-all into nReduce reduce tasks. Compute
+// weights come from the workload's execution profile (map tasks split the
+// bulk of the phase work, reduce tasks the remainder), and every shuffle
+// edge carries an equal share of the phase's memory traffic — so the
+// exported DAG is communication-bound exactly when the workload is, which
+// is what makes topology-aware mapping beat latency-only placement on it.
+func ExportDAG(wl WorkloadName, t *topo.Topology, nMap, nReduce int) (*graph.TaskDAG, error) {
+	if nMap < 1 || nReduce < 1 {
+		return nil, fmt.Errorf("mapreduce: need at least one map and one reduce task (got %d, %d)", nMap, nReduce)
+	}
+	prof := Profile(wl, t)
+	if len(prof.Phases) == 0 {
+		return nil, fmt.Errorf("mapreduce: unknown workload %q", wl)
+	}
+	ph := prof.Phases[0]
+	// 70/30 work split between the map and reduce sides, the usual Metis
+	// shape (map parses and hashes; reduce merges buckets).
+	mapWork := ph.WorkCycles * 7 / 10 / int64(nMap)
+	redWork := ph.WorkCycles * 3 / 10 / int64(nReduce)
+	if mapWork < 1 {
+		mapWork = 1
+	}
+	if redWork < 1 {
+		redWork = 1
+	}
+	shuffle := ph.Bytes / int64(nMap) / int64(nReduce)
+	if shuffle < 1 {
+		shuffle = 1
+	}
+	d := &graph.TaskDAG{Name: fmt.Sprintf("%s-%dx%d", prof.Name, nMap, nReduce)}
+	for i := 0; i < nMap; i++ {
+		d.Nodes = append(d.Nodes, graph.TaskNode{ID: i, Work: mapWork})
+	}
+	for j := 0; j < nReduce; j++ {
+		d.Nodes = append(d.Nodes, graph.TaskNode{ID: nMap + j, Work: redWork})
+	}
+	for i := 0; i < nMap; i++ {
+		for j := 0; j < nReduce; j++ {
+			d.Edges = append(d.Edges, graph.TaskEdge{From: i, To: nMap + j, Volume: shuffle})
+		}
+	}
+	d.Normalize()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,45 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestExportDAGShape(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	d, err := ExportDAG(WLWordCount, tp, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 12 || len(d.Edges) != 32 {
+		t.Fatalf("got %d nodes, %d edges; want 12 nodes, 32 edges", len(d.Nodes), len(d.Edges))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: exporting twice yields the same canonical hash.
+	d2, err := ExportDAG(WLWordCount, tp, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hash() != d2.Hash() {
+		t.Fatal("ExportDAG is not deterministic")
+	}
+	// Every shuffle edge carries traffic.
+	for _, e := range d.Edges {
+		if e.Volume < 1 {
+			t.Fatalf("edge %d->%d has volume %d", e.From, e.To, e.Volume)
+		}
+	}
+}
+
+func TestExportDAGErrors(t *testing.T) {
+	tp := enriched(t, sim.Ivy())
+	if _, err := ExportDAG(WLWordCount, tp, 0, 4); err == nil {
+		t.Error("accepted zero map tasks")
+	}
+	if _, err := ExportDAG(WorkloadName("bogus"), tp, 4, 2); err == nil {
+		t.Error("accepted an unknown workload")
+	}
+}

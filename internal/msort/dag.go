@@ -1,0 +1,50 @@
+package msort
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+// ExportDAG models mctop_sort as a task DAG for the taskmap engine: a
+// binary merge tree over `leaves` sorted runs of the Figure 9 dataset.
+// Leaf tasks quicksort their chunk (kSort·chunk·log2(chunk) cycles);
+// each internal task two-finger-merges its children's runs
+// (kMergeScalar cycles per element) and receives each input run's bytes
+// over its incoming edges. leaves must be a power of two in [2, 64].
+func ExportDAG(t *topo.Topology, leaves int) (*graph.TaskDAG, error) {
+	if leaves < 2 || leaves > 64 || leaves&(leaves-1) != 0 {
+		return nil, fmt.Errorf("msort: leaves must be a power of two in [2,64], got %d", leaves)
+	}
+	chunk := int64(modelElems) / int64(leaves)
+	sortWork := int64(float64(chunk) * kSort * math.Log2(float64(chunk)))
+	d := &graph.TaskDAG{Name: fmt.Sprintf("msort-%d", leaves)}
+	// Level 0: the sorted chunks.
+	level := make([]int, leaves)
+	for i := 0; i < leaves; i++ {
+		d.Nodes = append(d.Nodes, graph.TaskNode{ID: i, Work: sortWork})
+		level[i] = i
+	}
+	// Merge levels: pair adjacent runs until one remains.
+	run := chunk
+	for len(level) > 1 {
+		next := make([]int, 0, len(level)/2)
+		for i := 0; i < len(level); i += 2 {
+			id := len(d.Nodes)
+			d.Nodes = append(d.Nodes, graph.TaskNode{ID: id, Work: int64(kMergeScalar) * 2 * run})
+			vol := run * 4 // int32 elements
+			d.Edges = append(d.Edges, graph.TaskEdge{From: level[i], To: id, Volume: vol})
+			d.Edges = append(d.Edges, graph.TaskEdge{From: level[i+1], To: id, Volume: vol})
+			next = append(next, id)
+		}
+		level = next
+		run *= 2
+	}
+	d.Normalize()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,31 @@
+package msort
+
+import "testing"
+
+func TestExportDAGMergeTree(t *testing.T) {
+	tp := ivy(t)
+	for _, leaves := range []int{2, 8, 16} {
+		d, err := ExportDAG(tp, leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 2*leaves - 1; len(d.Nodes) != want {
+			t.Fatalf("leaves=%d: %d nodes, want %d", leaves, len(d.Nodes), want)
+		}
+		if want := 2 * (leaves - 1); len(d.Edges) != want {
+			t.Fatalf("leaves=%d: %d edges, want %d", leaves, len(d.Edges), want)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		d2, _ := ExportDAG(tp, leaves)
+		if d.Hash() != d2.Hash() {
+			t.Fatalf("leaves=%d: export not deterministic", leaves)
+		}
+	}
+	for _, bad := range []int{0, 1, 3, 128} {
+		if _, err := ExportDAG(tp, bad); err == nil {
+			t.Errorf("leaves=%d: accepted invalid leaf count", bad)
+		}
+	}
+}

@@ -116,7 +116,7 @@ func (l *LRU) Put(kind Kind, key string, val any) {
 	el := s.order.PushFront(&lruEntry{key: key, kind: kind, val: val})
 	s.entries[key] = el
 	evicted := int64(0)
-	var evictedKinds [2]int64
+	var evictedKinds [numKinds]int64
 	for s.order.Len() > s.cap {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
@@ -176,11 +176,13 @@ func (l *LRU) Stats() []StoreStats {
 				st.Topologies++
 			case KindPlacement:
 				st.Placements++
+			case KindMapping:
+				st.Mappings++
 			}
 			st.Entries++
 		}
 		s.mu.Unlock()
 	}
-	st.Kinds = l.kinds.snapshot(st.Topologies, st.Placements)
+	st.Kinds = l.kinds.snapshot(st.Topologies, st.Placements, st.Mappings)
 	return []StoreStats{st}
 }

@@ -43,13 +43,14 @@ func setServed(ctx context.Context, tier string) {
 }
 
 // Observer receives compute-duration callbacks: OnInference after every
-// executed topology inference, OnPlacement after every computed placement
-// (cache hits invoke neither). Callbacks run on the computing goroutine
-// and must be cheap and concurrency-safe — a histogram observation, not a
-// syscall.
+// executed topology inference, OnPlacement after every computed placement,
+// OnMapping after every computed task-graph mapping (cache hits invoke
+// none). Callbacks run on the computing goroutine and must be cheap and
+// concurrency-safe — a histogram observation, not a syscall.
 type Observer struct {
 	OnInference func(d time.Duration, err error)
 	OnPlacement func(d time.Duration, err error)
+	OnMapping   func(d time.Duration, err error)
 }
 
 // Instrument installs (or replaces) the registry's observer. Safe to call
@@ -67,5 +68,11 @@ func (r *Registry) observeInference(start time.Time, err error) {
 func (r *Registry) observePlacement(start time.Time, err error) {
 	if o := r.observer.Load(); o != nil && o.OnPlacement != nil {
 		o.OnPlacement(time.Since(start), err)
+	}
+}
+
+func (r *Registry) observeMapping(start time.Time, err error) {
+	if o := r.observer.Load(); o != nil && o.OnMapping != nil {
+		o.OnMapping(time.Since(start), err)
 	}
 }

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/mctopalg"
 	"repro/internal/place"
+	"repro/internal/taskmap"
 	"repro/internal/topo"
 )
 
@@ -77,6 +78,10 @@ type Options struct {
 	// client sweeping distinct seeds can saturate a serving daemon
 	// indefinitely. Default 2; < 0 means unlimited.
 	MaxConcurrentComputes int
+	// MapFn computes a task-graph mapping on a cache miss. Nil defaults to
+	// taskmap.Map; the daemon wraps the default for fault injection, tests
+	// substitute counting implementations.
+	MapFn MapFunc
 }
 
 // Stats is a snapshot of the registry's counters.
@@ -85,15 +90,17 @@ type Stats struct {
 	Misses     int64 // lookups that computed (or joined a computation)
 	Inferences int64 // actual topology inferences executed
 	Placements int64 // actual placements computed
+	Mappings   int64 // actual task-graph mappings computed
 	Evictions  int64 // entries dropped by a capacity bound, summed over tiers
 	Entries    int   // entries resident in the fastest tier
 	// Tiers breaks the store down per tier (LRU, spool, …), fastest first.
 	Tiers []StoreStats `json:",omitempty"`
 }
 
-// Registry memoizes topologies and placements.
+// Registry memoizes topologies, placements and task-graph mappings.
 type Registry struct {
 	infer    InferCtxFunc
+	mapFn    MapFunc
 	store    Store
 	flights  []*flightShard
 	computes chan struct{} // semaphore over concurrent inferences; nil = unlimited
@@ -102,6 +109,7 @@ type Registry struct {
 	misses     atomic.Int64
 	inferences atomic.Int64
 	placements atomic.Int64
+	mappings   atomic.Int64
 
 	// observer receives compute-duration callbacks (observe.go); nil when
 	// nothing is attached.
@@ -141,8 +149,12 @@ func New(opt Options) *Registry {
 	if opt.Store == nil {
 		opt.Store = NewLRU(opt.MaxEntries, opt.Shards)
 	}
+	if opt.MapFn == nil {
+		opt.MapFn = taskmap.Map
+	}
 	r := &Registry{
 		infer:   opt.InferCtx,
+		mapFn:   opt.MapFn,
 		store:   opt.Store,
 		flights: make([]*flightShard, opt.Shards),
 	}
@@ -512,6 +524,7 @@ func (r *Registry) Stats() Stats {
 	misses := r.misses.Load()
 	inferences := r.inferences.Load()
 	placements := r.placements.Load()
+	mappings := r.mappings.Load()
 	tiers := r.store.Stats()
 	var evictions int64
 	for _, t := range tiers {
@@ -522,6 +535,7 @@ func (r *Registry) Stats() Stats {
 		Misses:     misses,
 		Inferences: inferences,
 		Placements: placements,
+		Mappings:   mappings,
 		Evictions:  evictions,
 		Entries:    r.store.Len(),
 		Tiers:      tiers,

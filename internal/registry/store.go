@@ -20,6 +20,11 @@ const (
 	KindTopology Kind = iota
 	// KindPlacement entries hold a *place.Placement.
 	KindPlacement
+	// KindMapping entries hold a *taskmap.Mapping.
+	KindMapping
+
+	// numKinds sizes per-kind counter arrays.
+	numKinds
 )
 
 func (k Kind) String() string {
@@ -28,6 +33,8 @@ func (k Kind) String() string {
 		return "topology"
 	case KindPlacement:
 		return "placement"
+	case KindMapping:
+		return "mapping"
 	}
 	return "unknown"
 }
@@ -69,14 +76,15 @@ type StoreStats struct {
 	// (the spool's quarantine/ directory) so they stop being rescanned
 	// every restart. A nonzero value means on-disk corruption happened.
 	Quarantined int64 `json:"quarantined,omitempty"`
-	// Entries is the current resident entry count; Topologies and
-	// Placements break it down per entry kind.
+	// Entries is the current resident entry count; Topologies, Placements
+	// and Mappings break it down per entry kind.
 	Entries    int `json:"entries"`
 	Topologies int `json:"topologies"`
 	Placements int `json:"placements"`
+	Mappings   int `json:"mappings"`
 	// Kinds breaks the Get/eviction counters down per entry kind
-	// ("topology", "placement") — what per-kind hit-ratio dashboards
-	// consume via mctopd's /metrics.
+	// ("topology", "placement", "mapping") — what per-kind hit-ratio
+	// dashboards consume via mctopd's /metrics.
 	Kinds map[string]KindStats `json:"kinds,omitempty"`
 }
 
@@ -92,14 +100,14 @@ type KindStats struct {
 // embed: one slot per Kind, observed on the Get path with a single atomic
 // add each.
 type kindCounters struct {
-	hits      [2]atomic.Int64
-	misses    [2]atomic.Int64
-	evictions [2]atomic.Int64
+	hits      [numKinds]atomic.Int64
+	misses    [numKinds]atomic.Int64
+	evictions [numKinds]atomic.Int64
 }
 
 func kindIndex(k Kind) int {
-	if k == KindPlacement {
-		return 1
+	if k >= 0 && k < numKinds {
+		return int(k)
 	}
 	return 0
 }
@@ -110,21 +118,18 @@ func (c *kindCounters) evict(k Kind) { c.evictions[kindIndex(k)].Add(1) }
 
 // snapshot fills StoreStats.Kinds (entries counts are the caller's, since
 // only the store knows its residency).
-func (c *kindCounters) snapshot(topoEntries, placeEntries int) map[string]KindStats {
-	return map[string]KindStats{
-		KindTopology.String(): {
-			Hits:      c.hits[0].Load(),
-			Misses:    c.misses[0].Load(),
-			Evictions: c.evictions[0].Load(),
-			Entries:   topoEntries,
-		},
-		KindPlacement.String(): {
-			Hits:      c.hits[1].Load(),
-			Misses:    c.misses[1].Load(),
-			Evictions: c.evictions[1].Load(),
-			Entries:   placeEntries,
-		},
+func (c *kindCounters) snapshot(topoEntries, placeEntries, mapEntries int) map[string]KindStats {
+	entries := [numKinds]int{topoEntries, placeEntries, mapEntries}
+	out := make(map[string]KindStats, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		out[k.String()] = KindStats{
+			Hits:      c.hits[k].Load(),
+			Misses:    c.misses[k].Load(),
+			Evictions: c.evictions[k].Load(),
+			Entries:   entries[k],
+		}
 	}
+	return out
 }
 
 // TierNamer is the optional Store extension naming the tier ("lru",

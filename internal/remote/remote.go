@@ -46,6 +46,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/registry"
 	"repro/internal/spool"
+	"repro/internal/taskmap"
 	"repro/internal/topo"
 )
 
@@ -118,8 +119,8 @@ type Remote struct {
 	errors  atomic.Int64
 	fetches atomic.Int64 // upstream requests actually issued
 
-	kindHits   [2]atomic.Int64
-	kindMisses [2]atomic.Int64
+	kindHits   [3]atomic.Int64
+	kindMisses [3]atomic.Int64
 
 	// observe, when set, receives one callback per upstream fetch attempt
 	// with its wall duration and outcome ("ok", "origin_fault",
@@ -132,8 +133,11 @@ type Remote struct {
 func (r *Remote) TierName() string { return "remote" }
 
 func kindIndex(k registry.Kind) int {
-	if k == registry.KindPlacement {
+	switch k {
+	case registry.KindPlacement:
 		return 1
+	case registry.KindMapping:
+		return 2
 	}
 	return 0
 }
@@ -398,6 +402,9 @@ func (r *Remote) fetch(kind registry.Kind, key string) (val any, err error, orig
 	case registry.KindPlacement:
 		p, err := r.decodePlacement(key, body)
 		return p, err, false
+	case registry.KindMapping:
+		m, err := r.decodeMapping(key, body)
+		return m, err, false
 	default:
 		return nil, fmt.Errorf("unknown entry kind %v", kind), false
 	}
@@ -431,6 +438,21 @@ func (r *Remote) decodePlacement(key string, body io.Reader) (*place.Placement, 
 		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
 	}
 	return place.Reconstruct(t, side.Policy, side.Ctxs)
+}
+
+func (r *Remote) decodeMapping(key string, body io.Reader) (*taskmap.Mapping, error) {
+	side, err := spool.DecodeMapSidecar(body)
+	if err != nil {
+		return nil, err
+	}
+	if side.Key != "" && side.Key != key {
+		return nil, fmt.Errorf("key header names %q", side.Key)
+	}
+	t, err := r.topologyFor(side.TopoKey)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
+	}
+	return taskmap.Reconstruct(t, side.DAGName, side.DAGHash, side.Nodes, side.Edges, side.Algo, side.Cost, side.Assign)
 }
 
 // topologyFor resolves the topology a sidecar references: the memo first,
@@ -487,6 +509,10 @@ func (r *Remote) Stats() []registry.StoreStats {
 			registry.KindPlacement.String(): {
 				Hits:   r.kindHits[1].Load(),
 				Misses: r.kindMisses[1].Load(),
+			},
+			registry.KindMapping.String(): {
+				Hits:   r.kindHits[2].Load(),
+				Misses: r.kindMisses[2].Load(),
 			},
 		},
 	}}

@@ -15,6 +15,10 @@
 //     key of the topology it was computed on; loading one decodes that
 //     topology file and rebuilds the placement via place.Reconstruct,
 //     without re-running the policy.
+//   - mappings: <sanitized-key>-<fnv64>.map — the task-graph analogue of a
+//     placement sidecar: DAG identity, algorithm, cost and per-task
+//     assignment plus the topology key, rebuilt via taskmap.Reconstruct
+//     without re-running the mapper.
 //
 // Writes are write-behind: Put enqueues to a background writer (falling
 // back to a synchronous write when the queue is full, so nothing is ever
@@ -46,14 +50,17 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/place"
 	"repro/internal/registry"
+	"repro/internal/taskmap"
 	"repro/internal/topo"
 )
 
 const (
 	topoExt      = ".mctop"
 	placeExt     = ".place"
+	mapExt       = ".map"
 	keyHeader    = "#key "
 	placeMagic   = "mctop-place 1"
+	mapMagic     = "mctop-map 1"
 	writeBacklog = 64
 	// quarantineDir, under the spool directory, receives undecodable
 	// files. It is excluded from the startup scan (scan skips
@@ -115,14 +122,17 @@ func (s *Spool) TierName() string { return "spool" }
 // kindCounters mirrors the per-kind breakdown the in-memory tier keeps, so
 // /metrics can chart hit ratios per entry kind for the disk tier too.
 type kindCounters struct {
-	hits      [2]atomic.Int64
-	misses    [2]atomic.Int64
-	evictions [2]atomic.Int64
+	hits      [3]atomic.Int64
+	misses    [3]atomic.Int64
+	evictions [3]atomic.Int64
 }
 
 func kindIndex(k registry.Kind) int {
-	if k == registry.KindPlacement {
+	switch k {
+	case registry.KindPlacement:
 		return 1
+	case registry.KindMapping:
+		return 2
 	}
 	return 0
 }
@@ -216,6 +226,8 @@ func (s *Spool) scan() error {
 			kind = registry.KindTopology
 		case placeExt:
 			kind = registry.KindPlacement
+		case mapExt:
+			kind = registry.KindMapping
 		default:
 			// Leftover temp files from a crashed writer are dead weight:
 			// renames are atomic, so nothing references them.
@@ -265,8 +277,11 @@ func (s *Spool) quarantine(name string, reason error) {
 }
 
 func extOf(kind registry.Kind) string {
-	if kind == registry.KindPlacement {
+	switch kind {
+	case registry.KindPlacement:
 		return placeExt
+	case registry.KindMapping:
+		return mapExt
 	}
 	return topoExt
 }
@@ -351,6 +366,8 @@ func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
 			v, err = s.loadTopology(key)
 		case registry.KindPlacement:
 			v, err = s.loadPlacement(key)
+		case registry.KindMapping:
+			v, err = s.loadMapping(key)
 		default:
 			err = fmt.Errorf("unknown entry kind %v", kind)
 		}
@@ -425,6 +442,27 @@ func (s *Spool) loadPlacement(key string) (*place.Placement, error) {
 		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
 	}
 	return place.Reconstruct(t, side.Policy, side.Ctxs)
+}
+
+func (s *Spool) loadMapping(key string) (*taskmap.Mapping, error) {
+	path := filepath.Join(s.dir, fileName(key, mapExt))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	side, err := DecodeMapSidecar(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if side.Key != "" && side.Key != key {
+		return nil, fmt.Errorf("key header names %q", side.Key)
+	}
+	t, err := s.loadTopology(side.TopoKey)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
+	}
+	return taskmap.Reconstruct(t, side.DAGName, side.DAGHash, side.Nodes, side.Edges, side.Algo, side.Cost, side.Assign)
 }
 
 // Put implements registry.Store: enqueue a write-behind, falling back to a
@@ -504,6 +542,31 @@ func (s *Spool) write(op writeOp) {
 		}
 		encode = func(w io.Writer) error {
 			return EncodeSidecar(w, op.key, topoKey, v)
+		}
+	case *taskmap.Mapping:
+		if op.kind != registry.KindMapping {
+			s.logf("dropping write of %q: mapping under kind %v", op.key, op.kind)
+			s.errors.Add(1)
+			return
+		}
+		topoKey, ok := topoKeyOfMapKey(op.key)
+		if !ok {
+			s.logf("dropping write of %q: not a mapping key", op.key)
+			s.errors.Add(1)
+			return
+		}
+		// Same durable-topology invariant as placements: a .map sidecar is
+		// only loadable if the .mctop file it references is on disk too.
+		s.mu.Lock()
+		_, haveTopo := s.entries[topoKey]
+		s.mu.Unlock()
+		if !haveTopo {
+			if t := v.Topology(); t != nil {
+				s.write(writeOp{kind: registry.KindTopology, key: topoKey, val: t})
+			}
+		}
+		encode = func(w io.Writer) error {
+			return EncodeMapSidecar(w, op.key, topoKey, v)
 		}
 	default:
 		s.logf("dropping write of %q: unsupported value %T", op.key, op.val)
@@ -624,6 +687,8 @@ func (s *Spool) Stats() []registry.StoreStats {
 			st.Topologies++
 		case registry.KindPlacement:
 			st.Placements++
+		case registry.KindMapping:
+			st.Mappings++
 		}
 		st.Entries++
 	}
@@ -640,6 +705,12 @@ func (s *Spool) Stats() []registry.StoreStats {
 			Misses:    s.kinds.misses[1].Load(),
 			Evictions: s.kinds.evictions[1].Load(),
 			Entries:   st.Placements,
+		},
+		registry.KindMapping.String(): {
+			Hits:      s.kinds.hits[2].Load(),
+			Misses:    s.kinds.misses[2].Load(),
+			Evictions: s.kinds.evictions[2].Load(),
+			Entries:   st.Mappings,
 		},
 	}
 	return []registry.StoreStats{st}
@@ -733,10 +804,20 @@ func (s *Spool) enforceLimits() {
 	// again (every Get would fail to a logged miss) yet would keep its
 	// index slot and its share of the byte budget. Drop them now.
 	for _, e := range ents {
-		if e.kind != registry.KindPlacement || s.entries[e.key] != registry.KindPlacement {
+		if s.entries[e.key] != e.kind {
 			continue
 		}
-		if tk, ok := topoKeyOfPlaceKey(e.key); ok && evictedTopos[tk] {
+		var tk string
+		var ok bool
+		switch e.kind {
+		case registry.KindPlacement:
+			tk, ok = topoKeyOfPlaceKey(e.key)
+		case registry.KindMapping:
+			tk, ok = topoKeyOfMapKey(e.key)
+		default:
+			continue
+		}
+		if ok && evictedTopos[tk] {
 			s.evictLocked(e.key, e.kind, e.size, e.mtime)
 		}
 	}
@@ -781,4 +862,16 @@ func topoKeyOfPlaceKey(placeKey string) (string, bool) {
 		return "", false
 	}
 	return rest[:j], true
+}
+
+// topoKeyOfMapKey extracts the embedded topology key from a registry
+// mapping key. Mapping keys are strictly parseable (registry.ParseMapKey),
+// so unlike placement keys there is no ambiguity to tolerate: an
+// unparsable key is simply not a mapping key.
+func topoKeyOfMapKey(mapKey string) (string, bool) {
+	tk, _, _, _, _, err := registry.ParseMapKey(mapKey)
+	if err != nil {
+		return "", false
+	}
+	return tk, true
 }

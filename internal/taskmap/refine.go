@@ -1,0 +1,67 @@
+package taskmap
+
+import "context"
+
+// refine hill-climbs the assignment: rounds of single-task moves then
+// pairwise swaps, scanned in ascending (task, context) order, accepting
+// strict improvements immediately. budget bounds the total number of
+// candidate assignments priced; the climb also stops at a local optimum
+// (a full round with no improvement). Fully deterministic.
+func refine(ctx context.Context, s *pricer, ctxs []int, assign []int, cost int64, budget int) ([]int, int64, error) {
+	cur := append([]int(nil), assign...)
+	n := len(cur)
+	for budget > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		improved := false
+
+		// Single-task moves.
+	moves:
+		for v := 0; v < n; v++ {
+			for _, c := range ctxs {
+				if c == cur[v] {
+					continue
+				}
+				if budget <= 0 {
+					break moves
+				}
+				budget--
+				old := cur[v]
+				cur[v] = c
+				if nc := s.cost(cur); nc < cost {
+					cost = nc
+					improved = true
+				} else {
+					cur[v] = old
+				}
+			}
+		}
+
+		// Pairwise swaps between tasks on different contexts.
+	swaps:
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if cur[a] == cur[b] {
+					continue
+				}
+				if budget <= 0 {
+					break swaps
+				}
+				budget--
+				cur[a], cur[b] = cur[b], cur[a]
+				if nc := s.cost(cur); nc < cost {
+					cost = nc
+					improved = true
+				} else {
+					cur[a], cur[b] = cur[b], cur[a]
+				}
+			}
+		}
+
+		if !improved {
+			break
+		}
+	}
+	return cur, cost, nil
+}

@@ -1,0 +1,379 @@
+// Package taskmap maps weighted task DAGs onto hardware contexts of an
+// MCTOP topology — the AMTHA direction (De Giusti et al.): node weights
+// are compute cycles, edge weights are communication volumes in bytes,
+// and the mapper minimizes estimated completion time under the
+// topology's O(1) ctx×ctx latency index.
+//
+// The engine is three layers, all deterministic for fixed inputs:
+//
+//   - Estimate: a list-scheduling simulator that prices an assignment —
+//     tasks execute in the DAG's canonical topological order, an edge
+//     crossing contexts costs ceil(volume/64) cache-line transfers at the
+//     measured pairwise latency, and the cost is the makespan in cycles.
+//   - Greedy (AMTHA-style): ready tasks picked by priority = compute
+//     weight + pending communication, each assigned to the context that
+//     finishes it earliest; ties break to the lowest task then context ID.
+//   - Refine: a bounded-budget hill-climb over single-task moves and
+//     pairwise swaps, strict improvements only.
+//
+// BruteForce is the exhaustive reference the property tests compare
+// against. Reconstruct rebuilds a Mapping from persisted fields (spool
+// sidecars, /v1/export bodies) without re-running the mapper.
+package taskmap
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+// CacheLine is the transfer granularity of the cost model: an edge of V
+// bytes between contexts x≠y costs ceil(V/CacheLine)·GetLatency(x,y)
+// cycles, zero when co-located.
+const CacheLine = 64
+
+// Options tunes a mapping run.
+type Options struct {
+	// RefineBudget bounds the refinement pass: the maximum number of
+	// candidate assignments the hill-climb may price. 0 disables
+	// refinement (pure greedy).
+	RefineBudget int
+	// Ctxs restricts the candidate hardware contexts; nil means every
+	// context of the topology. Must be duplicate-free and in range.
+	Ctxs []int
+}
+
+// Mapping is a task→context assignment with its priced cost. Mappings are
+// immutable once built and safe for concurrent use.
+type Mapping struct {
+	t      *topo.Topology
+	name   string
+	hash   uint64 // canonical DAG hash (graph.TaskDAG.Hash)
+	nodes  int
+	edges  int
+	algo   string
+	cost   int64
+	assign []int
+}
+
+// Topology returns the topology the mapping was computed against.
+func (m *Mapping) Topology() *topo.Topology { return m.t }
+
+// DAGName returns the (non-canonical) name of the mapped DAG, if any.
+func (m *Mapping) DAGName() string { return m.name }
+
+// DAGHash returns the canonical hash of the mapped DAG.
+func (m *Mapping) DAGHash() uint64 { return m.hash }
+
+// NumNodes returns the mapped DAG's node count.
+func (m *Mapping) NumNodes() int { return m.nodes }
+
+// NumEdges returns the mapped DAG's edge count.
+func (m *Mapping) NumEdges() int { return m.edges }
+
+// Algo names the algorithm that produced the assignment.
+func (m *Mapping) Algo() string { return m.algo }
+
+// Cost returns the estimated completion time in cycles.
+func (m *Mapping) Cost() int64 { return m.cost }
+
+// Assignment returns a copy of the task→context assignment, indexed by
+// task ID.
+func (m *Mapping) Assignment() []int {
+	return append([]int(nil), m.assign...)
+}
+
+// pricer prices assignments for one (topology, DAG) pair. Building it once
+// amortizes the Kahn order and predecessor index across the thousands of
+// Estimate calls a refinement pass or brute-force sweep makes.
+type pricer struct {
+	t      *topo.Topology
+	d      *graph.TaskDAG
+	order  []int   // canonical topological order
+	preds  [][]int // per node: incoming edge indexes
+	lines  []int64 // per edge: ceil(volume/CacheLine)
+	finish []int64 // scratch, indexed by node
+	free   []int64 // scratch, indexed by context
+}
+
+func newSim(t *topo.Topology, d *graph.TaskDAG) (*pricer, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]int64, len(d.Edges))
+	for i, e := range d.Edges {
+		lines[i] = (e.Volume + CacheLine - 1) / CacheLine
+	}
+	return &pricer{
+		t:      t,
+		d:      d,
+		order:  order,
+		preds:  d.Preds(),
+		lines:  lines,
+		finish: make([]int64, len(d.Nodes)),
+		free:   make([]int64, t.NumHWContexts()),
+	}, nil
+}
+
+// cost prices an assignment: tasks run in canonical topological order,
+// each starting at max(its context's free time, latest predecessor data
+// arrival) where data from a different context arrives comm-cost cycles
+// after the predecessor finishes. Returns the makespan.
+func (s *pricer) cost(assign []int) int64 {
+	for i := range s.free {
+		s.free[i] = 0
+	}
+	var makespan int64
+	for _, v := range s.order {
+		c := assign[v]
+		start := s.free[c]
+		for _, ei := range s.preds[v] {
+			e := s.d.Edges[ei]
+			arrive := s.finish[e.From]
+			if cu := assign[e.From]; cu != c {
+				arrive += s.lines[ei] * s.t.GetLatency(cu, c)
+			}
+			if arrive > start {
+				start = arrive
+			}
+		}
+		fin := start + s.d.Nodes[v].Work
+		s.finish[v] = fin
+		s.free[c] = fin
+		if fin > makespan {
+			makespan = fin
+		}
+	}
+	return makespan
+}
+
+// Estimate prices an assignment for the given topology and DAG under the
+// canonical cost model. Deterministic: same inputs, same cost, on every
+// platform.
+func Estimate(t *topo.Topology, d *graph.TaskDAG, assign []int) (int64, error) {
+	if err := checkAssign(t, d, assign); err != nil {
+		return 0, err
+	}
+	s, err := newSim(t, d)
+	if err != nil {
+		return 0, err
+	}
+	return s.cost(assign), nil
+}
+
+func checkAssign(t *topo.Topology, d *graph.TaskDAG, assign []int) error {
+	if len(assign) != len(d.Nodes) {
+		return fmt.Errorf("taskmap: assignment has %d entries for %d tasks", len(assign), len(d.Nodes))
+	}
+	n := t.NumHWContexts()
+	for v, c := range assign {
+		if c < 0 || c >= n {
+			return fmt.Errorf("taskmap: task %d assigned to context %d of %d", v, c, n)
+		}
+	}
+	return nil
+}
+
+// candidates resolves Options.Ctxs to a sorted duplicate-free slice.
+func candidates(t *topo.Topology, opt Options) ([]int, error) {
+	n := t.NumHWContexts()
+	if len(opt.Ctxs) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	ctxs := append([]int(nil), opt.Ctxs...)
+	sort.Ints(ctxs)
+	for i, c := range ctxs {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("taskmap: candidate context %d out of range [0,%d)", c, n)
+		}
+		if i > 0 && ctxs[i-1] == c {
+			return nil, fmt.Errorf("taskmap: duplicate candidate context %d", c)
+		}
+	}
+	return ctxs, nil
+}
+
+// priorities computes the AMTHA-style list-scheduling priority per task:
+// its compute weight plus the communication it still owes its successors
+// (in cache-line·max-latency cycles, so compute and comm are commensurate).
+func priorities(t *topo.Topology, d *graph.TaskDAG) []int64 {
+	maxLat := t.MaxLatency()
+	if maxLat <= 0 {
+		maxLat = 1
+	}
+	pri := make([]int64, len(d.Nodes))
+	for i, n := range d.Nodes {
+		pri[i] = n.Work
+	}
+	for _, e := range d.Edges {
+		pri[e.From] += (e.Volume + CacheLine - 1) / CacheLine * maxLat
+	}
+	return pri
+}
+
+// greedy runs the list scheduler over the candidate contexts and returns
+// the assignment. Decisions replay the same simulation Estimate uses, but
+// in priority order; the returned assignment is finally priced with the
+// canonical Estimate so greedy, refined and brute-force costs are always
+// comparable.
+func greedy(t *topo.Topology, d *graph.TaskDAG, ctxs []int) []int {
+	n := len(d.Nodes)
+	pri := priorities(t, d)
+	indeg := make([]int, n)
+	for _, e := range d.Edges {
+		indeg[e.To]++
+	}
+	preds := d.Preds()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	finish := make([]int64, n)
+	free := make([]int64, t.NumHWContexts())
+	ready := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	for len(ready) > 0 {
+		// Highest priority first, ties to the lowest task ID.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			v, b := ready[i], ready[best]
+			if pri[v] > pri[b] || (pri[v] == pri[b] && v < b) {
+				best = i
+			}
+		}
+		v := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+
+		// Earliest-finish context, ties to the lowest context ID.
+		bestCtx, bestFin := -1, int64(0)
+		for _, c := range ctxs {
+			start := free[c]
+			for _, ei := range preds[v] {
+				e := d.Edges[ei]
+				arrive := finish[e.From]
+				if cu := assign[e.From]; cu != c {
+					arrive += (e.Volume + CacheLine - 1) / CacheLine * t.GetLatency(cu, c)
+				}
+				if arrive > start {
+					start = arrive
+				}
+			}
+			fin := start + d.Nodes[v].Work
+			if bestCtx < 0 || fin < bestFin {
+				bestCtx, bestFin = c, fin
+			}
+		}
+		assign[v] = bestCtx
+		finish[v] = bestFin
+		free[bestCtx] = bestFin
+
+		for _, e := range d.Edges {
+			if e.From == v {
+				if indeg[e.To]--; indeg[e.To] == 0 {
+					ready = append(ready, e.To)
+				}
+			}
+		}
+	}
+	return assign
+}
+
+// Map computes a task→context mapping for the DAG on the topology:
+// greedy list scheduling, then (with a positive RefineBudget) a bounded
+// hill-climb. The result is byte-stable for fixed inputs. ctx cancels
+// between refinement rounds.
+func Map(ctx context.Context, t *topo.Topology, d *graph.TaskDAG, opt Options) (*Mapping, error) {
+	if t == nil {
+		return nil, fmt.Errorf("taskmap: nil topology")
+	}
+	s, err := newSim(t, d)
+	if err != nil {
+		return nil, err
+	}
+	ctxs, err := candidates(t, opt)
+	if err != nil {
+		return nil, err
+	}
+	assign := greedy(t, d, ctxs)
+	cost := s.cost(assign)
+	// Earliest-finish list scheduling is myopic about downstream
+	// communication: on comm-dominant DAGs it spreads tasks whose children
+	// then pay cross-context transfers. Serial execution on one context
+	// always prices at exactly the total work, so keep whichever the
+	// canonical model says is cheaper — that bounds greedy at 1x serial
+	// while preserving EFT's wins on compute-parallel DAGs.
+	serial := make([]int, len(d.Nodes))
+	for i := range serial {
+		serial[i] = ctxs[0]
+	}
+	if sc := s.cost(serial); sc < cost {
+		assign, cost = serial, sc
+	}
+	algo := "greedy"
+	if opt.RefineBudget > 0 {
+		assign, cost, err = refine(ctx, s, ctxs, assign, cost, opt.RefineBudget)
+		if err != nil {
+			return nil, err
+		}
+		algo = "greedy+refine"
+	}
+	return &Mapping{
+		t:      t,
+		name:   d.Name,
+		hash:   d.Hash(),
+		nodes:  len(d.Nodes),
+		edges:  len(d.Edges),
+		algo:   algo,
+		cost:   cost,
+		assign: assign,
+	}, nil
+}
+
+// Reconstruct rebuilds a Mapping from persisted fields — the spool
+// sidecar / export interchange path. The recorded cost is trusted, not
+// recomputed (the origin priced it; edges must serve it byte-identically).
+func Reconstruct(t *topo.Topology, name string, hash uint64, nodes, edges int, algo string, cost int64, assign []int) (*Mapping, error) {
+	if t == nil {
+		return nil, fmt.Errorf("taskmap: nil topology")
+	}
+	if nodes <= 0 || len(assign) != nodes {
+		return nil, fmt.Errorf("taskmap: assignment has %d entries for %d tasks", len(assign), nodes)
+	}
+	if edges < 0 {
+		return nil, fmt.Errorf("taskmap: negative edge count %d", edges)
+	}
+	if cost < 0 {
+		return nil, fmt.Errorf("taskmap: negative cost %d", cost)
+	}
+	n := t.NumHWContexts()
+	for v, c := range assign {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("taskmap: task %d assigned to context %d of %d", v, c, n)
+		}
+	}
+	return &Mapping{
+		t:      t,
+		name:   name,
+		hash:   hash,
+		nodes:  nodes,
+		edges:  edges,
+		algo:   algo,
+		cost:   cost,
+		assign: append([]int(nil), assign...),
+	}, nil
+}

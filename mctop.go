@@ -89,12 +89,14 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/mctopalg"
 	"repro/internal/place"
 	"repro/internal/registry"
 	"repro/internal/remote"
 	"repro/internal/sim"
 	"repro/internal/spool"
+	"repro/internal/taskmap"
 	"repro/internal/topo"
 )
 
@@ -233,6 +235,22 @@ type StoreStats = registry.StoreStats
 // cache tier misses.
 type InferCtxFunc = registry.InferCtxFunc
 
+// TaskDAG is a task graph for the mapping service (see internal/graph):
+// nodes carry compute weights in cycles, edges carry communication volumes
+// in bytes.
+type TaskDAG = graph.TaskDAG
+
+// Mapping is a task-graph → hardware-context assignment with its
+// estimated completion time (see internal/taskmap).
+type Mapping = taskmap.Mapping
+
+// MapFunc is the registry's mapping compute path, called on a mapping
+// cache miss (default taskmap.Map).
+type MapFunc = registry.MapFunc
+
+// MapOptions tunes a mapping compute (see taskmap.Options).
+type MapOptions = taskmap.Options
+
 // RegistryOption configures NewRegistry beyond the entry bound.
 type RegistryOption func(*registryConfig)
 
@@ -243,6 +261,7 @@ type registryConfig struct {
 	spoolMaxAge   time.Duration
 	upstream      string
 	inferWrap     func(InferCtxFunc) InferCtxFunc
+	mapWrap       func(MapFunc) MapFunc
 }
 
 // WithStore installs a custom cache store — typically a NewTieredStore
@@ -303,6 +322,14 @@ func WithUpstream(originURL string) RegistryOption {
 //		}))
 func WithInferWrapper(wrap func(InferCtxFunc) InferCtxFunc) RegistryOption {
 	return func(c *registryConfig) { c.inferWrap = wrap }
+}
+
+// WithMapWrapper is WithInferWrapper for the task-graph mapping compute
+// path: wrap receives the default mapper (taskmap.Map) and returns the
+// MapFunc the registry calls on a mapping cache miss — the seam mctopd's
+// registry.map fault-injection point uses.
+func WithMapWrapper(wrap func(MapFunc) MapFunc) RegistryOption {
+	return func(c *registryConfig) { c.mapWrap = wrap }
 }
 
 // OpenSpool opens (creating if needed) a description-file spool directory
@@ -390,10 +417,15 @@ func NewRegistry(maxEntries int, opts ...RegistryOption) *Registry {
 	if c.inferWrap != nil {
 		infer = c.inferWrap(infer)
 	}
+	var mapFn MapFunc
+	if c.mapWrap != nil {
+		mapFn = c.mapWrap(taskmap.Map)
+	}
 	return registry.New(registry.Options{
 		MaxEntries: maxEntries,
 		Store:      c.store,
 		InferCtx:   infer,
+		MapFn:      mapFn,
 	})
 }
 
