@@ -28,8 +28,9 @@ func loadMain(args []string) int {
 		warmup   = fs.Duration("warmup", 0, "discard observations made before this elapses")
 		mixFlag  = fs.String("mix", "topology=1,place=1",
 			"route mix weights: topology=N,place=N,mapdag=N,batch=N,stream=N")
-		platforms = fs.String("platforms", "", "comma-separated platforms (default: all five)")
+		platforms = fs.String("platforms", "", "comma-separated platforms, gen: specs included (default: all five)")
 		reps      = fs.Int("reps", 0, "inference repetitions sent with every request (0 = daemon default)")
+		sampling  = fs.Bool("sampling", false, "send sampling=1 with every request (the sampled measurement mode, for large gen: platforms)")
 		warmSeeds = fs.Int("warm-seeds", 2, "warm seed pool size (seeds 1..N repeat, so they cache-hit after first use)")
 		cold      = fs.Float64("cold", 0, "fraction of requests with a never-repeated seed (forces a full-chain miss)")
 		policies  = fs.String("policies", "", "comma-separated placement policies (default RR_CORE,RR_HWC)")
@@ -56,6 +57,7 @@ func loadMain(args []string) int {
 		MaxRequests:  *maxReqs,
 		Warmup:       *warmup,
 		Reps:         *reps,
+		Sampling:     *sampling,
 		WarmSeeds:    *warmSeeds,
 		ColdRatio:    *cold,
 		BatchSize:    *batch,

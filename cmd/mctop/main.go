@@ -227,9 +227,10 @@ func runImport(args []string) {
 
 func runInfer() {
 	var (
-		platform = flag.String("platform", "Ivy", "simulated platform: Ivy, Westmere, Haswell, Opteron, SPARC")
+		platform = flag.String("platform", "Ivy", "simulated platform: Ivy, Westmere, Haswell, Opteron, SPARC, or a generated gen:<kind>:s<S>:c<C>:t<T> spec (e.g. gen:circulant:s64:c8:t2)")
 		seed     = flag.Uint64("seed", 42, "simulator noise seed")
 		reps     = flag.Int("reps", 201, "repetitions per context pair (paper default: 2000)")
+		sampling = flag.Bool("sampling", false, "use the sampled sub-O(N²) measurement mode on large platforms (byte-identical results; see internal/mctopalg)")
 		host     = flag.Bool("host", false, "infer the real host instead of a simulated platform")
 		load     = flag.String("load", "", "load a description file instead of inferring")
 		out      = flag.String("out", "", "save the description file here")
@@ -265,6 +266,7 @@ func runInfer() {
 		fail(err)
 		o := mctopalg.DefaultOptions()
 		o.Reps = *reps
+		o.Sampling.Enabled = *sampling
 		res, err := mctopalg.Infer(m, o)
 		fail(err)
 		enriched, err := plugins.Enrich(m, res.Topology, nil)
@@ -273,8 +275,12 @@ func runInfer() {
 		inferRes = res
 		v := m.OSView()
 		osView = &v
-		fmt.Printf("inferred %s: %d pairs measured, %d retries, %.2f simulated seconds\n",
-			p.Name, res.Pairs, res.Retries, m.S.SimulatedSeconds(res.Cycles))
+		mode := ""
+		if res.Sampled {
+			mode = fmt.Sprintf(" (sampled: %d filled, %d fallback blocks)", res.FilledPairs, res.FallbackBlocks)
+		}
+		fmt.Printf("inferred %s: %d pairs measured%s, %d retries, %.2f simulated seconds\n",
+			p.Name, res.Pairs, mode, res.Retries, m.S.SimulatedSeconds(res.Cycles))
 	}
 
 	fmt.Println()

@@ -35,9 +35,12 @@
 //	                                       is degraded (spool read-only,
 //	                                       origin backoff open), 200 once
 //	                                       every tier heals
-//	GET  /v1/platforms                     the five simulated platforms
+//	GET  /v1/platforms                     the five simulated platforms (any
+//	                                       endpoint also accepts generated
+//	                                       gen:<kind>:s<S>:c<C>:t<T> specs,
+//	                                       e.g. gen:circulant:s64:c8:t2)
 //	GET  /v1/policies                      builtin + registered placement policies
-//	GET  /v1/topology?platform=Ivy&seed=42[&reps=201][&format=mctop|dot]
+//	GET  /v1/topology?platform=Ivy&seed=42[&reps=201][&sampling=1][&format=mctop|dot]
 //	GET  /v1/place?platform=Ivy&seed=42&policy=RR_CORE&threads=8
 //	POST /v1/place/batch                   many placements, one topology lookup
 //	POST /v1/map                           topology-aware task-graph mapping:
@@ -56,6 +59,15 @@
 //	GET  /metrics                          Prometheus text exposition (exempt
 //	                                       from backpressure)
 //	GET  /debug/pprof/                     net/http/pprof, with -pprof
+//
+// Platforms can be the paper's five machines or synthetic generated ones
+// (internal/sim's gen: specs) — dozens of sockets, thousands of contexts.
+// Since inference cost grows with the square of the context count,
+// -max-contexts bounds how large a platform a request may name (413 beyond
+// it), and -sampling defaults requests to the sampled sub-O(N²)
+// measurement mode (?sampling=0/1 and the batch "sampling" field override
+// per request; results are byte-identical to exhaustive inference, see
+// internal/mctopalg).
 //
 // Failures carry the client API's sentinel errors, mapped to HTTP statuses
 // in one place (statusOf): ErrInvalidRequest → 400, ErrUnknownPlatform and
@@ -110,6 +122,7 @@ import (
 	"repro/internal/mctoperr"
 	"repro/internal/registry"
 	"repro/internal/remote"
+	"repro/internal/sim"
 	"repro/internal/spool"
 	"repro/internal/topo"
 )
@@ -126,6 +139,8 @@ type daemonConfig struct {
 	spoolMaxAge    time.Duration
 	upstream       string
 	maxInflight    int
+	maxContexts    int
+	sampling       bool
 	pprof          bool
 	faults         string
 	faultsSeed     uint64
@@ -147,6 +162,10 @@ func main() {
 		"origin mctopd base URL (e.g. http://origin:8077): misses are fetched from its /v1/export before inferring locally, making this daemon a fleet edge")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0),
 		"maximum concurrent in-flight requests before shedding with 503 (<= 0 disables)")
+	flag.IntVar(&cfg.maxContexts, "max-contexts", 0,
+		"refuse platforms with more hardware contexts than this with 413 — the size bound for generated gen: platforms, whose inference cost grows with the square of the context count (<= 0 disables)")
+	flag.BoolVar(&cfg.sampling, "sampling", false,
+		"default requests to the sampled sub-O(N²) measurement mode on large platforms; per-request ?sampling=0/1 overrides")
 	flag.BoolVar(&cfg.pprof, "pprof", false,
 		"mount net/http/pprof under /debug/pprof/ (exempt from backpressure, like /metrics)")
 	flag.StringVar(&cfg.faults, "faults", "",
@@ -271,6 +290,8 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 	}
 	reg := mctop.NewRegistry(cfg.cache, regOpts...)
 	s = newServerWith(reg, cfg.reps, cfg.maxInflight)
+	s.maxContexts = cfg.maxContexts
+	s.defaultSampling = cfg.sampling
 	s.pprof = cfg.pprof
 	s.reqTimeout = cfg.requestTimeout
 	s.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -339,6 +360,11 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 type server struct {
 	reg         *mctop.Registry
 	defaultReps int
+	// maxContexts refuses platforms larger than this with 413 (0 = no
+	// bound); defaultSampling turns the sampled measurement mode on for
+	// requests that do not say ?sampling= themselves.
+	maxContexts     int
+	defaultSampling bool
 	// inflight is the backpressure semaphore: one slot per in-flight
 	// request (healthz, /metrics and pprof excepted). nil disables
 	// shedding.
@@ -578,18 +604,25 @@ func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 }
 
 // validatePlatform sorts platform failures: an absent parameter is a
-// malformed request (ErrInvalidRequest, 400), a named-but-unknown platform
-// is a miss on the platform namespace (ErrUnknownPlatform, 404).
-func validatePlatform(platform string) error {
+// malformed request (ErrInvalidRequest, 400), a malformed gen: spec is too
+// (sim.ParseGenName's contract), a named-but-unknown platform is a miss on
+// the platform namespace (ErrUnknownPlatform, 404), and a platform over the
+// -max-contexts bound is an honest refusal of quadratic work this daemon is
+// not sized for (ErrTooLarge, 413 — a client fault, so no Retry-After:
+// retrying the same platform can never succeed here).
+func (s *server) validatePlatform(platform string) error {
 	if platform == "" {
-		return fmt.Errorf("%w: missing platform (one of: %s)", mctoperr.ErrInvalidRequest, strings.Join(mctop.Platforms(), ", "))
+		return fmt.Errorf("%w: missing platform (one of: %s; or a gen: spec)", mctoperr.ErrInvalidRequest, strings.Join(mctop.Platforms(), ", "))
 	}
-	for _, p := range mctop.Platforms() {
-		if p == platform {
-			return nil
-		}
+	p, err := sim.ByName(platform)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("%w %q (one of: %s)", mctoperr.ErrUnknownPlatform, platform, strings.Join(mctop.Platforms(), ", "))
+	if n := p.NumContexts(); s.maxContexts > 0 && n > s.maxContexts {
+		return fmt.Errorf("%w: platform %q has %d hardware contexts, over this daemon's limit of %d",
+			mctoperr.ErrTooLarge, platform, n, s.maxContexts)
+	}
+	return nil
 }
 
 // validateReps bounds the work one request can demand: inference is
@@ -608,7 +641,7 @@ func validateReps(reps int) error {
 func (s *server) query(r *http.Request) (platform string, seed uint64, opt mctop.Options, err error) {
 	q := r.URL.Query()
 	platform = q.Get("platform")
-	if err := validatePlatform(platform); err != nil {
+	if err := s.validatePlatform(platform); err != nil {
 		return "", 0, opt, err
 	}
 	seed = 42
@@ -627,6 +660,14 @@ func (s *server) query(r *http.Request) (platform string, seed uint64, opt mctop
 			return "", 0, opt, err
 		}
 		opt.Reps = reps
+	}
+	opt.Sampling.Enabled = s.defaultSampling
+	if v := q.Get("sampling"); v != "" {
+		b, perr := strconv.ParseBool(v)
+		if perr != nil {
+			return "", 0, opt, fmt.Errorf("%w: bad sampling %q (want 0 or 1)", mctoperr.ErrInvalidRequest, v)
+		}
+		opt.Sampling.Enabled = b
 	}
 	return platform, seed, opt, nil
 }
@@ -773,6 +814,7 @@ type batchRequest struct {
 	Platform string  `json:"platform"`
 	Seed     *uint64 `json:"seed"`
 	Reps     int     `json:"reps,omitempty"`
+	Sampling *bool   `json:"sampling,omitempty"`
 	Requests []struct {
 		Policy  string `json:"policy"`
 		Threads int    `json:"threads"`
@@ -835,7 +877,7 @@ func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 		writeErrStatus(w, fmt.Errorf("%w: bad batch body: %v", mctoperr.ErrInvalidRequest, err))
 		return
 	}
-	if err := validatePlatform(req.Platform); err != nil {
+	if err := s.validatePlatform(req.Platform); err != nil {
 		writeErrStatus(w, err)
 		return
 	}
@@ -855,6 +897,10 @@ func (s *server) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opt.Reps = req.Reps
+	}
+	opt.Sampling.Enabled = s.defaultSampling
+	if req.Sampling != nil {
+		opt.Sampling.Enabled = *req.Sampling
 	}
 	for i := range req.Requests {
 		if req.Requests[i].Threads < 0 {
@@ -1022,7 +1068,7 @@ func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
 // query endpoints apply to their parameters: an edge's key must not demand
 // work a direct request could not.
 func (s *server) validateExport(platform string, opt mctop.Options) error {
-	if err := validatePlatform(platform); err != nil {
+	if err := s.validatePlatform(platform); err != nil {
 		return err
 	}
 	return validateReps(opt.Normalized().Reps)

@@ -118,7 +118,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 		writeErrStatus(w, fmt.Errorf("%w: bad map body: %v", mctoperr.ErrInvalidRequest, err))
 		return
 	}
-	if err := validatePlatform(req.Platform); err != nil {
+	if err := s.validatePlatform(req.Platform); err != nil {
 		writeErrStatus(w, err)
 		return
 	}

@@ -96,6 +96,10 @@ type Config struct {
 	// (0 = daemon default; tests pass small odd values to keep cold
 	// inferences fast).
 	Reps int
+	// Sampling sends &sampling=1 with every request, driving the daemon's
+	// sampled measurement mode — the knob for load-testing large gen:
+	// platforms whose exhaustive cold inference would dominate the run.
+	Sampling bool
 	// WarmSeeds is the size of the warm seed pool: warm requests draw
 	// seeds from [1, WarmSeeds], so after each (platform, seed) pair's
 	// first inference every later request is a cache hit (default 2).
@@ -379,6 +383,9 @@ func commonQuery(cfg Config, platform string, seed uint64) string {
 	if cfg.Reps > 0 {
 		q += "&reps=" + strconv.Itoa(cfg.Reps)
 	}
+	if cfg.Sampling {
+		q += "&sampling=1"
+	}
 	return q
 }
 
@@ -408,8 +415,12 @@ func batchBody(cfg Config, rng *rand.Rand, platform string, seed uint64) []byte 
 		Platform string  `json:"platform"`
 		Seed     *uint64 `json:"seed"`
 		Reps     int     `json:"reps,omitempty"`
+		Sampling *bool   `json:"sampling,omitempty"`
 		Requests []item  `json:"requests"`
 	}{Platform: platform, Seed: &seed, Reps: cfg.Reps}
+	if cfg.Sampling {
+		body.Sampling = &cfg.Sampling
+	}
 	for i := 0; i < cfg.BatchSize; i++ {
 		body.Requests = append(body.Requests, item{
 			Policy:  cfg.Policies[rng.Intn(len(cfg.Policies))],

@@ -84,8 +84,13 @@ func (m *SimMachine) unwrap(t Thread) *sim.Thread {
 	return st.t
 }
 
-// Barrier synchronizes simulated threads.
+// Barrier synchronizes simulated threads. The two-thread case — the
+// measurement hot loop, twice per repetition — avoids the argument slice.
 func (m *SimMachine) Barrier(ts ...Thread) {
+	if len(ts) == 2 {
+		m.S.Barrier2(m.unwrap(ts[0]), m.unwrap(ts[1]))
+		return
+	}
 	raw := make([]*sim.Thread, len(ts))
 	for i, t := range ts {
 		raw[i] = m.unwrap(t)

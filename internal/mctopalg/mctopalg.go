@@ -60,6 +60,11 @@ type Options struct {
 	// Machines without Forker always measure sequentially through the
 	// parent's single noise stream.
 	Parallelism int
+	// Sampling configures the sub-O(N²) sampled measurement mode for large
+	// Forker machines (see sampled.go). Like ForkedEnrich — and unlike
+	// Parallelism — it can in principle select different (fallback) work,
+	// so it is part of the registry's cache key.
+	Sampling SamplingOptions
 	// ForkedEnrich selects the fork-per-probe plugin enrichment phase
 	// (plugins.EnrichForked) at the facade level — Infer itself never
 	// reads it. Deterministic for a fixed seed and independent of
@@ -110,6 +115,7 @@ func (o *Options) fillDefaults() {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	o.Sampling.fillDefaults()
 }
 
 // Normalized returns the options with every zero field replaced by its
@@ -153,6 +159,14 @@ type Result struct {
 	// re-measurements due to unstable stdev.
 	Pairs   int
 	Retries int
+	// Sampled reports whether the sampled measurement mode ran (it needs a
+	// Forker machine and at least Options.Sampling.MinContexts contexts).
+	// FilledPairs counts table entries filled from a verified class
+	// representative instead of measured; FallbackBlocks counts class-pair
+	// blocks that failed verification and were measured exhaustively.
+	Sampled        bool
+	FilledPairs    int
+	FallbackBlocks int
 	// Cycles is the total virtual/real cycles consumed by the measuring
 	// thread — the inference cost reported in Section 3.5.
 	Cycles int64
@@ -245,6 +259,9 @@ func collectTable(ctx context.Context, m machine.Machine, opt *Options, res *Res
 	}
 
 	if fk, ok := m.(machine.Forker); ok {
+		if opt.Sampling.Enabled && n >= opt.Sampling.MinContexts {
+			return collectTableSampled(ctx, fk, m, opt, res)
+		}
 		return collectTableForked(ctx, fk, m, opt, res)
 	}
 
@@ -258,8 +275,9 @@ func collectTable(ctx context.Context, m machine.Machine, opt *Options, res *Res
 	}
 	start := x.Rdtsc()
 
+	sc := newScratch(opt)
 	dvfsWait(m, opt, x)
-	res.RdtscOverhead = estimateRdtscOverhead(x)
+	res.RdtscOverhead = sc.rdtscOverhead(x)
 
 	fast, _ := m.(machine.PairMeasurer)
 
@@ -283,7 +301,7 @@ func collectTable(ctx context.Context, m machine.Machine, opt *Options, res *Res
 					return fast.MeasurePair(xi, yi, opt.Reps)
 				})
 			} else {
-				med = measurePair(m, opt, x, y, res.RdtscOverhead, &res.Retries)
+				med = measurePair(m, opt, x, y, res.RdtscOverhead, &res.Retries, sc)
 			}
 			res.RawTable[xi][yi] = med
 			res.RawTable[yi][xi] = med
@@ -303,6 +321,21 @@ type pairOutcome struct {
 	err     error
 }
 
+// ctxPair is one (x, y) context pair, x < y.
+type ctxPair struct{ x, y int }
+
+// allPairs enumerates every context pair in the canonical (x, y) order the
+// sequential loop uses.
+func allPairs(n int) []ctxPair {
+	pairs := make([]ctxPair, 0, n*(n-1)/2)
+	for x := 0; x < n-1; x++ {
+		for y := x + 1; y < n; y++ {
+			pairs = append(pairs, ctxPair{x, y})
+		}
+	}
+	return pairs
+}
+
 // collectTableForked measures every context pair on its own forked machine.
 // The workers only decide *when* a pair is measured, never *what* it
 // observes: each fork's noise stream is a pure function of (seed, x, y), and
@@ -310,8 +343,6 @@ type pairOutcome struct {
 // so the resulting table — and hence the inferred topology — is
 // byte-identical for every Parallelism, including 1.
 func collectTableForked(ctx context.Context, fk machine.Forker, m machine.Machine, opt *Options, res *Result) error {
-	n := m.NumHWContexts()
-
 	// The reported rdtsc overhead comes from the parent machine, like the
 	// sequential path's; the forks estimate and deduct their own.
 	t0, err := m.NewThread(0)
@@ -319,16 +350,32 @@ func collectTableForked(ctx context.Context, fk machine.Forker, m machine.Machin
 		return err
 	}
 	dvfsWait(m, opt, t0)
-	res.RdtscOverhead = estimateRdtscOverhead(t0)
+	res.RdtscOverhead = estimateRdtscOverhead(t0, newScratch(opt))
 
-	type pair struct{ x, y int }
-	pairs := make([]pair, 0, n*(n-1)/2)
-	for x := 0; x < n-1; x++ {
-		for y := x + 1; y < n; y++ {
-			pairs = append(pairs, pair{x, y})
-		}
+	pairs := allPairs(m.NumHWContexts())
+	outcomes, err := runPairsForked(ctx, fk, opt, pairs)
+	if err != nil {
+		return err
 	}
+	for i, p := range pairs {
+		o := outcomes[i]
+		res.RawTable[p.x][p.y] = o.med
+		res.RawTable[p.y][p.x] = o.med
+		res.Pairs++
+		res.Retries += o.retries
+		res.Cycles += o.cycles
+	}
+	return nil
+}
 
+// runPairsForked measures a list of pairs over an Options.Parallelism worker
+// pool, each pair on its own fork, and returns the outcomes indexed like the
+// input. Each worker owns one scratch buffer set for its whole run — the
+// hot-loop allocations happen once per worker, not once per pair.
+func runPairsForked(ctx context.Context, fk machine.Forker, opt *Options, pairs []ctxPair) ([]pairOutcome, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
 	workers := opt.Parallelism
 	if workers > len(pairs) {
 		workers = len(pairs)
@@ -344,12 +391,13 @@ func collectTableForked(ctx context.Context, fk machine.Forker, m machine.Machin
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := newScratch(opt)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(pairs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				outcomes[i] = measurePairForked(fk, opt, pairs[i].x, pairs[i].y)
+				outcomes[i] = measurePairForked(fk, opt, pairs[i].x, pairs[i].y, sc)
 				if outcomes[i].err != nil {
 					failed.Store(true)
 				}
@@ -361,29 +409,21 @@ func collectTableForked(ctx context.Context, fk machine.Forker, m machine.Machin
 	// A cancelled run reports ctx.Err() even if a pair also failed: the
 	// caller asked to stop, and the partial table is unusable either way.
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if failed.Load() {
 		for i := range pairs {
 			if outcomes[i].err != nil {
-				return outcomes[i].err
+				return nil, outcomes[i].err
 			}
 		}
 	}
-	for i, p := range pairs {
-		o := outcomes[i]
-		res.RawTable[p.x][p.y] = o.med
-		res.RawTable[p.y][p.x] = o.med
-		res.Pairs++
-		res.Retries += o.retries
-		res.Cycles += o.cycles
-	}
-	return nil
+	return outcomes, nil
 }
 
 // measurePairForked runs one pair's full measurement — DVFS wait, overhead
 // estimation, the Figure 5 lock-step loop — on a private fork.
-func measurePairForked(fk machine.Forker, opt *Options, xi, yi int) pairOutcome {
+func measurePairForked(fk machine.Forker, opt *Options, xi, yi int, sc *scratch) pairOutcome {
 	fm, err := fk.ForkPair(xi, yi)
 	if err != nil {
 		return pairOutcome{err: err}
@@ -399,9 +439,9 @@ func measurePairForked(fk machine.Forker, opt *Options, xi, yi int) pairOutcome 
 	start := x.Rdtsc()
 	dvfsWait(fm, opt, x)
 	dvfsWait(fm, opt, y)
-	overhead := estimateRdtscOverhead(x)
+	overhead := sc.rdtscOverhead(x)
 	var o pairOutcome
-	o.med = measurePair(fm, opt, x, y, overhead, &o.retries)
+	o.med = measurePair(fm, opt, x, y, overhead, &o.retries, sc)
 	o.cycles = x.Rdtsc() - start
 	return o
 }
@@ -431,30 +471,73 @@ func dvfsWait(m machine.Machine, opt *Options, t machine.Thread) {
 	}
 }
 
+// overheadReps is the number of back-to-back timestamp reads used to
+// estimate the rdtsc overhead.
+const overheadReps = 101
+
+// scratch is the per-worker buffer set of the measurement hot loop. The
+// loop runs once per pair — hundreds of thousands of times on large
+// platforms — and with a scratch it allocates nothing per pair: the sample
+// buffers are reused across pairs, the barrier argument slice is built
+// once, and the rdtsc-overhead estimate is memoized per thread.
+type scratch struct {
+	vals []int64 // measurement samples, capacity Options.Reps
+	ovh  []int64 // overhead samples, capacity overheadReps
+	barr []machine.Thread
+
+	// Per-thread overhead memo. Each fork estimates on a fresh thread (a
+	// miss, preserving its noise stream); repeat estimates on one thread
+	// return the cached value. Thread implementations must be comparable.
+	ovhThread machine.Thread
+	ovhVal    int64
+}
+
+func newScratch(opt *Options) *scratch {
+	return &scratch{
+		vals: make([]int64, 0, opt.Reps),
+		ovh:  make([]int64, 0, overheadReps),
+		barr: make([]machine.Thread, 2),
+	}
+}
+
+// rdtscOverhead returns the thread's timestamp-read overhead, estimating it
+// on first sight and serving repeats from the memo.
+func (sc *scratch) rdtscOverhead(t machine.Thread) int64 {
+	if sc.ovhThread == t {
+		return sc.ovhVal
+	}
+	v := estimateRdtscOverhead(t, sc)
+	sc.ovhThread, sc.ovhVal = t, v
+	return v
+}
+
 // estimateRdtscOverhead measures back-to-back timestamp reads and takes the
 // median.
-func estimateRdtscOverhead(t machine.Thread) int64 {
-	const reps = 101
-	vals := make([]int64, 0, reps)
-	for i := 0; i < reps; i++ {
+func estimateRdtscOverhead(t machine.Thread, sc *scratch) int64 {
+	vals := sc.ovh[:0]
+	for i := 0; i < overheadReps; i++ {
 		s := t.Rdtsc()
 		e := t.Rdtsc()
 		vals = append(vals, e-s)
 	}
-	return stats.Median(vals)
+	return stats.MedianInPlace(vals)
 }
 
 // measurePair runs the lock-step loop of Figure 5 through the generic
 // thread interface and returns the accepted median, deducting the given
-// timestamp-read overhead and counting re-measurements into retries.
-func measurePair(m machine.Machine, opt *Options, x, y machine.Thread, rdtscOverhead int64, retries *int) int64 {
+// timestamp-read overhead and counting re-measurements into retries. The
+// acceptance rule is acceptOrRetryRaw's, inlined over the scratch buffer so
+// the loop is allocation-free (asserted by TestMeasurePairSteadyStateAllocs).
+func measurePair(m machine.Machine, opt *Options, x, y machine.Thread, rdtscOverhead int64, retries *int, sc *scratch) int64 {
 	const line = 0x6c0c6 // arbitrary shared-line id
-	run := func() []int64 {
-		vals := make([]int64, 0, opt.Reps)
+	threshold := opt.StdevThreshold
+	sc.barr[0], sc.barr[1] = x, y
+	for retry := 0; ; retry++ {
+		vals := sc.vals[:0]
 		for i := 0; i < opt.Reps; i++ {
-			m.Barrier(x, y)
+			m.Barrier(sc.barr...)
 			y.CAS(line)
-			m.Barrier(x, y)
+			m.Barrier(sc.barr...)
 			s := x.Rdtsc()
 			x.CAS(line)
 			e := x.Rdtsc()
@@ -464,9 +547,21 @@ func measurePair(m machine.Machine, opt *Options, x, y machine.Thread, rdtscOver
 			}
 			vals = append(vals, v)
 		}
-		return vals
+		sc.vals = vals[:0]
+		sd := stats.Stdev(vals)
+		med := stats.MedianInPlace(vals)
+		if med <= 0 {
+			med = 1
+		}
+		if sd <= threshold*float64(med) || retry >= opt.MaxRetries {
+			return med
+		}
+		*retries++
+		threshold += (opt.StdevThresholdMax - opt.StdevThreshold) / float64(opt.MaxRetries)
+		if threshold > opt.StdevThresholdMax {
+			threshold = opt.StdevThresholdMax
+		}
 	}
-	return acceptOrRetryRaw(run(), opt, retries, run)
 }
 
 // acceptOrRetryRaw applies the stability rule of Section 3.5: accept the

@@ -1,0 +1,337 @@
+// Sampled (sub-O(N²)) measurement for large Forker machines.
+//
+// The exhaustive step 1 measures all N(N-1)/2 context pairs; at the 1k-10k
+// context scale of generated platforms (internal/sim's Generate) that loop
+// is the entire cost of a cold inference. Large interconnects are highly
+// regular, though, which this mode exploits in three phases:
+//
+//  1. Pilot phase: measure every pair involving a small, evenly spaced
+//     pilot context set. Each context's vector of latencies to the pilots
+//     is its *signature*; contexts with byte-equal signatures are
+//     indistinguishable to the pilots and form a class.
+//  2. Verification phase: for every pair of classes, measure one
+//     representative pair plus a deterministic set of probe pairs (the
+//     block's corners and seeded interior picks).
+//  3. Fill or fall back: if every probe agrees with the representative,
+//     the remaining pairs of the block take its value; any disagreement
+//     falls back to measuring the block exhaustively. Same-class
+//     (diagonal) blocks are always exhaustive — SMT siblings share
+//     signatures, so same-core pairs hide inside classes where probes
+//     could not catch them.
+//
+// Exhaustive-equality: every measured pair goes through the same
+// measurePairForked path as the exhaustive mode, and a fork's noise stream
+// depends only on (seed, x, y) — measured values are byte-identical by
+// construction, regardless of which other pairs were measured. Filled
+// values are exact on noise-free generated platforms, where a pair's median
+// is a pure function of its latency level. Platforms with per-measurement
+// jitter or deterministic in-level spread (all five golden machines) are
+// detected up front — their pilot medians do not form exact plateaus — and
+// fall back to measuring everything, trading the speedup for exactness.
+// The equality is property-tested against the exhaustive mode on the golden
+// five and on generated mesh/ring/circulant platforms (sampled_test.go).
+package mctopalg
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// SamplingOptions configures the sampled measurement mode. The zero value
+// disables it; enabling it with zero parameters uses the defaults below.
+type SamplingOptions struct {
+	// Enabled turns the mode on for Forker machines with at least
+	// MinContexts contexts. Machines without Forker always measure
+	// sequentially and ignore this option.
+	Enabled bool
+	// Pilots is the pilot-set size (0 = auto: n/64 clamped to [8, 64]).
+	Pilots int
+	// MinContexts is the size below which inference stays exhaustive —
+	// under it the pilot phase would measure most pairs anyway (0 = 64).
+	MinContexts int
+	// VerifyPerBlock is the number of probe pairs measured per class-pair
+	// block on top of the representative (0 = 6). Higher values widen the
+	// net for irregular platforms at the cost of speedup.
+	VerifyPerBlock int
+}
+
+func (s *SamplingOptions) fillDefaults() {
+	if !s.Enabled {
+		// Normalize every disabled spelling to one zero value, so cache
+		// keys of non-sampled inferences agree.
+		*s = SamplingOptions{}
+		return
+	}
+	if s.Pilots < 0 {
+		s.Pilots = 0
+	}
+	if s.MinContexts <= 0 {
+		s.MinContexts = 64
+	}
+	if s.VerifyPerBlock <= 0 {
+		s.VerifyPerBlock = 6
+	}
+}
+
+// pilotCount resolves the pilot-set size for n contexts.
+func (s SamplingOptions) pilotCount(n int) int {
+	k := s.Pilots
+	if k <= 0 {
+		k = n / 64
+		if k < 8 {
+			k = 8
+		}
+		if k > 64 {
+			k = 64
+		}
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// noiseGapMin is the plateau-separation rule of the noise gate: on a
+// noise-free platform, distinct pilot-phase medians belong to distinct
+// latency levels and sit at least one interconnect-hop step apart (67+
+// cycles on generated platforms); two distinct medians this close or
+// closer are measurement jitter or in-level spread, and the whole run
+// falls back to exhaustive measurement.
+const noiseGapMin = 8
+
+// collectTableSampled fills res.RawTable measuring only a subset of pairs
+// (see the package comment above). An unmeasured entry is 0 until filled;
+// measured medians are always >= 1.
+func collectTableSampled(ctx context.Context, fk machine.Forker, m machine.Machine, opt *Options, res *Result) error {
+	n := m.NumHWContexts()
+	res.Sampled = true
+
+	t0, err := m.NewThread(0)
+	if err != nil {
+		return err
+	}
+	dvfsWait(m, opt, t0)
+	res.RdtscOverhead = estimateRdtscOverhead(t0, newScratch(opt))
+
+	record := func(pairs []ctxPair, outs []pairOutcome) {
+		for i, p := range pairs {
+			o := outs[i]
+			res.RawTable[p.x][p.y] = o.med
+			res.RawTable[p.y][p.x] = o.med
+			res.Pairs++
+			res.Retries += o.retries
+			res.Cycles += o.cycles
+		}
+	}
+	measure := func(pairs []ctxPair) error {
+		outs, err := runPairsForked(ctx, fk, opt, pairs)
+		if err != nil {
+			return err
+		}
+		record(pairs, outs)
+		return nil
+	}
+
+	// Phase 1: pilots. Evenly spaced pilot contexts, every pair touching
+	// one of them, in canonical (x, y) order.
+	k := opt.Sampling.pilotCount(n)
+	stride := n / k
+	pilots := make([]int, k)
+	isPilot := make([]bool, n)
+	for i := range pilots {
+		pilots[i] = i * stride
+		isPilot[i*stride] = true
+	}
+	wave1 := make([]ctxPair, 0, k*n)
+	for x := 0; x < n-1; x++ {
+		if isPilot[x] {
+			for y := x + 1; y < n; y++ {
+				wave1 = append(wave1, ctxPair{x, y})
+			}
+		} else {
+			for _, p := range pilots {
+				if p > x {
+					wave1 = append(wave1, ctxPair{x, p})
+				}
+			}
+		}
+	}
+	if err := measure(wave1); err != nil {
+		return err
+	}
+
+	// Classes: non-pilot contexts grouped by their latency signature to the
+	// pilots. Pilot contexts are fully measured already and join no class.
+	classIdx := map[string]int{}
+	var classes [][]int
+	var sigb strings.Builder
+	for x := 0; x < n; x++ {
+		if isPilot[x] {
+			continue
+		}
+		sigb.Reset()
+		for _, p := range pilots {
+			sigb.WriteString(strconv.FormatInt(res.RawTable[x][p], 10))
+			sigb.WriteByte(',')
+		}
+		sig := sigb.String()
+		ci, ok := classIdx[sig]
+		if !ok {
+			ci = len(classes)
+			classIdx[sig] = ci
+			classes = append(classes, nil)
+		}
+		classes[ci] = append(classes[ci], x)
+	}
+
+	// Noise gate: exact plateaus only. Any two distinct pilot medians
+	// closer than noiseGapMin mean in-level spread, so class fills would
+	// not be exact — measure everything instead.
+	distinct := make([]int64, 0, 64)
+	seen := map[int64]bool{}
+	for _, p := range wave1 {
+		if v := res.RawTable[p.x][p.y]; !seen[v] {
+			seen[v] = true
+			distinct = append(distinct, v)
+		}
+	}
+	slices.Sort(distinct)
+	noisy := false
+	for i := 1; i < len(distinct); i++ {
+		if distinct[i]-distinct[i-1] <= noiseGapMin {
+			noisy = true
+			break
+		}
+	}
+
+	// Phase 2: per class-pair block, decide representative + probes, or
+	// exhaustive fallback.
+	V := opt.Sampling.VerifyPerBlock
+	type block struct {
+		pairs    []ctxPair // unmeasured pairs, canonical order
+		probeIdx []int     // indices into pairs measured for verification
+	}
+	var blocks []block
+	var exhaustNow []ctxPair // diagonal, small, or noisy-run blocks
+	for ci := 0; ci < len(classes); ci++ {
+		for cj := ci; cj < len(classes); cj++ {
+			var bp []ctxPair
+			if ci == cj {
+				members := classes[ci]
+				for i := 0; i < len(members)-1; i++ {
+					for j := i + 1; j < len(members); j++ {
+						bp = append(bp, ctxPair{members[i], members[j]})
+					}
+				}
+			} else {
+				for _, a := range classes[ci] {
+					for _, b := range classes[cj] {
+						x, y := a, b
+						if x > y {
+							x, y = y, x
+						}
+						bp = append(bp, ctxPair{x, y})
+					}
+				}
+			}
+			sort.Slice(bp, func(i, j int) bool {
+				return bp[i].x < bp[j].x || bp[i].x == bp[j].x && bp[i].y < bp[j].y
+			})
+			if noisy || ci == cj || len(bp) <= V+1 {
+				exhaustNow = append(exhaustNow, bp...)
+				continue
+			}
+			blocks = append(blocks, block{pairs: bp, probeIdx: probeIndices(bp, V)})
+		}
+	}
+	if noisy {
+		res.FallbackBlocks = len(classes) * (len(classes) + 1) / 2
+	}
+
+	wave2 := append([]ctxPair(nil), exhaustNow...)
+	for _, b := range blocks {
+		for _, pi := range b.probeIdx {
+			wave2 = append(wave2, b.pairs[pi])
+		}
+	}
+	if err := measure(wave2); err != nil {
+		return err
+	}
+
+	// Phase 3: fill verified blocks, exhaustively measure the rest.
+	var wave3 []ctxPair
+	for _, b := range blocks {
+		rep := res.RawTable[b.pairs[b.probeIdx[0]].x][b.pairs[b.probeIdx[0]].y]
+		agree := true
+		for _, pi := range b.probeIdx[1:] {
+			if res.RawTable[b.pairs[pi].x][b.pairs[pi].y] != rep {
+				agree = false
+				break
+			}
+		}
+		if !agree {
+			res.FallbackBlocks++
+			for _, p := range b.pairs {
+				if res.RawTable[p.x][p.y] == 0 {
+					wave3 = append(wave3, p)
+				}
+			}
+			continue
+		}
+		for _, p := range b.pairs {
+			if res.RawTable[p.x][p.y] == 0 {
+				res.RawTable[p.x][p.y] = rep
+				res.RawTable[p.y][p.x] = rep
+				res.FilledPairs++
+			}
+		}
+	}
+	if err := measure(wave3); err != nil {
+		return err
+	}
+
+	// Every off-diagonal entry must now be measured or filled.
+	for x := 0; x < n-1; x++ {
+		for y := x + 1; y < n; y++ {
+			if res.RawTable[x][y] == 0 {
+				return fmt.Errorf("mctopalg: internal error: sampled measurement left pair (%d,%d) unset", x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// probeIndices returns the verification probes of a block: its first and
+// last pair (the corners of the sorted order) plus deterministic seeded
+// interior picks, v+1 indices in total, ascending. The selection is a pure
+// function of the block's pairs, so it is independent of measurement order
+// and parallelism.
+func probeIndices(bp []ctxPair, v int) []int {
+	idx := []int{0, len(bp) - 1}
+	h := uint64(bp[0].x)<<32 | uint64(bp[0].y)
+	for len(idx) < v+1 && len(idx) < len(bp) {
+		h = splitmix64(h)
+		cand := int(h % uint64(len(bp)))
+		if !slices.Contains(idx, cand) {
+			idx = append(idx, cand)
+		}
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// splitmix64 is the SplitMix64 mixing function (public domain; same stream
+// derivation the simulator uses for per-pair noise seeds).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d49b133aa8ef4b
+	return z ^ (z >> 31)
+}

@@ -54,8 +54,8 @@ func ParseTopoKey(key string) (platform string, seed uint64, opt mctopalg.Option
 	// The option block is a fixed-order, prefix-tagged field list (see
 	// topoKey). Parse positionally.
 	fields := strings.Split(optBlock, ",")
-	if len(fields) != 10 {
-		return fail("%d option fields, want 10", len(fields))
+	if len(fields) != 14 {
+		return fail("%d option fields, want 14", len(fields))
 	}
 	take := func(idx int, tag string) (string, bool) {
 		v, ok := strings.CutPrefix(fields[idx], tag)
@@ -76,6 +76,10 @@ func ParseTopoKey(key string) (platform string, seed uint64, opt mctopalg.Option
 		{7, "su", func(v string) error { n, e := strconv.ParseInt(v, 10, 64); opt.SpinUnit = n; return e }},
 		{8, "smp", func(v string) error { b, e := strconv.ParseBool(v); opt.SkipMemoryProbe = b; return e }},
 		{9, "fe", func(v string) error { b, e := strconv.ParseBool(v); opt.ForkedEnrich = b; return e }},
+		{10, "se", func(v string) error { b, e := strconv.ParseBool(v); opt.Sampling.Enabled = b; return e }},
+		{11, "sp", func(v string) error { n, e := strconv.Atoi(v); opt.Sampling.Pilots = n; return e }},
+		{12, "smc", func(v string) error { n, e := strconv.Atoi(v); opt.Sampling.MinContexts = n; return e }},
+		{13, "sv", func(v string) error { n, e := strconv.Atoi(v); opt.Sampling.VerifyPerBlock = n; return e }},
 	}
 	for _, p := range parse {
 		v, ok := take(p.idx, p.tag)

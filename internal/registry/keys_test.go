@@ -20,6 +20,10 @@ func TestParseTopoKeyRoundTrip(t *testing.T) {
 		{"Westmere", 18446744073709551615, mctopalg.Options{Reps: 51, SkipMemoryProbe: true}},
 		{"Haswell", 7, mctopalg.Options{Reps: 201, ForkedEnrich: true}},
 		{"a|weird|name", 1, mctopalg.Options{Reps: 11}}, // '|' in the platform survives
+		{"gen:circulant:s64:c8:t2", 3, mctopalg.Options{Sampling: mctopalg.SamplingOptions{Enabled: true}}},
+		{"gen:mesh:s25:c2:t2:v7", 5, mctopalg.Options{
+			Sampling: mctopalg.SamplingOptions{Enabled: true, Pilots: 16, MinContexts: 32, VerifyPerBlock: 9},
+		}},
 	}
 	for _, c := range cases {
 		key := TopoKey(c.platform, c.seed, c.opt)
@@ -53,6 +57,7 @@ func TestParseTopoKeyRejectsMalformed(t *testing.T) {
 		good + ",x1",                       // trailing junk field
 		good + "junk",                      // trailing junk bytes
 		strings.Replace(good, "r", "R", 1), // wrong tag
+		good[:strings.Index(good, ",se")],  // pre-sampling 10-field key must not resolve
 		"topo||42|" + good[strings.LastIndexByte(good, '|')+1:], // empty platform
 	}
 	for _, key := range bad {

@@ -324,6 +324,14 @@ func topoKey(platform string, seed uint64, opt mctopalg.Options) string {
 	b = strconv.AppendBool(b, o.SkipMemoryProbe)
 	b = append(b, ",fe"...)
 	b = strconv.AppendBool(b, o.ForkedEnrich)
+	b = append(b, ",se"...)
+	b = strconv.AppendBool(b, o.Sampling.Enabled)
+	b = append(b, ",sp"...)
+	b = strconv.AppendInt(b, int64(o.Sampling.Pilots), 10)
+	b = append(b, ",smc"...)
+	b = strconv.AppendInt(b, int64(o.Sampling.MinContexts), 10)
+	b = append(b, ",sv"...)
+	b = strconv.AppendInt(b, int64(o.Sampling.VerifyPerBlock), 10)
 	return string(b)
 }
 

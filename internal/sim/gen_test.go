@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mctoperr"
+)
+
+func mustGenerate(t *testing.T, spec GenSpec) *Platform {
+	t.Helper()
+	p, err := Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", spec.Name(), err)
+	}
+	return p
+}
+
+// genTestSpecs covers every kind, SMT on and off, custom generators, seeds
+// and the noise flag.
+func genTestSpecs() []GenSpec {
+	return []GenSpec{
+		{Kind: GenMesh, Sockets: 12, Cores: 4, SMT: 2},
+		{Kind: GenMesh, Sockets: 7, Cores: 2, SMT: 1}, // prime: 1x7 line
+		{Kind: GenRing, Sockets: 16, Cores: 8, SMT: 2, Seed: 7},
+		{Kind: GenRing, Sockets: 2, Cores: 4, SMT: 1},
+		{Kind: GenCirculant, Sockets: 64, Cores: 8, SMT: 2},
+		{Kind: GenCirculant, Sockets: 20, Cores: 2, SMT: 2, Gens: []int{1, 4, 10}},
+		{Kind: GenCirculant, Sockets: 8, Cores: 6, SMT: 1, Seed: 3, Noise: true},
+	}
+}
+
+// TestGenerateDeterministic: the generator is a pure function of its spec —
+// two runs produce byte-identical platforms.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range genTestSpecs() {
+		a := mustGenerate(t, spec)
+		b := mustGenerate(t, spec)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two generations differ", spec.Name())
+		}
+		if sa, sb := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b); sa != sb {
+			t.Errorf("%s: printed platforms differ:\n%s\nvs\n%s", spec.Name(), sa, sb)
+		}
+	}
+}
+
+// TestGenerateValidateSweep: every spec a seeded random sweep can produce
+// generates a platform that passes Validate (Generate re-checks internally;
+// this asserts no error across the space, including degenerate shapes).
+func TestGenerateValidateSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	kinds := []GenKind{GenMesh, GenRing, GenCirculant}
+	for i := 0; i < 200; i++ {
+		spec := GenSpec{
+			Kind:    kinds[rng.Intn(len(kinds))],
+			Sockets: 1 + rng.Intn(48),
+			Cores:   1 + rng.Intn(8),
+			SMT:     1 + rng.Intn(4),
+			Seed:    uint64(rng.Intn(3)),
+			Noise:   rng.Intn(4) == 0,
+		}
+		if spec.Kind == GenCirculant && spec.Sockets >= 8 && rng.Intn(2) == 0 {
+			spec.Gens = []int{1, 1 + rng.Intn(spec.Sockets/2)}
+		}
+		p, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("sweep %d: Generate(%s): %v", i, spec.Name(), err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("sweep %d: Validate(%s): %v", i, spec.Name(), err)
+		}
+		if got := p.NumContexts(); got != spec.Sockets*spec.Cores*spec.SMT {
+			t.Fatalf("sweep %d: %s: %d contexts", i, spec.Name(), got)
+		}
+	}
+}
+
+// TestGenerateLatencySanity: generated latencies are symmetric, zero only on
+// the diagonal, and satisfy the triangle inequality — both at the socket
+// matrix level and through PairLatency.
+func TestGenerateLatencySanity(t *testing.T) {
+	for _, spec := range []GenSpec{
+		{Kind: GenMesh, Sockets: 12, Cores: 2, SMT: 1},
+		{Kind: GenRing, Sockets: 10, Cores: 2, SMT: 2, Seed: 5},
+		{Kind: GenCirculant, Sockets: 16, Cores: 2, SMT: 1},
+	} {
+		p := mustGenerate(t, spec)
+		s := p.Sockets
+		for a := 0; a < s; a++ {
+			for b := 0; b < s; b++ {
+				if (p.SocketLatMatrix[a][b] == 0) != (a == b) {
+					t.Fatalf("%s: zero latency off-diagonal at (%d,%d)", p.Name, a, b)
+				}
+				if p.SocketLatMatrix[a][b] != p.SocketLatMatrix[b][a] {
+					t.Fatalf("%s: asymmetric socket latency at (%d,%d)", p.Name, a, b)
+				}
+				for c := 0; c < s; c++ {
+					if l, via := p.SocketLatMatrix[a][c], p.SocketLatMatrix[a][b]+p.SocketLatMatrix[b][c]; a != b && b != c && a != c && l > via {
+						t.Fatalf("%s: triangle violation sockets %d-%d-%d: %d > %d", p.Name, a, b, c, l, via)
+					}
+				}
+			}
+		}
+		n := p.NumContexts()
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if (p.PairLatency(x, y) == 0) != (x == y) {
+					t.Fatalf("%s: zero pair latency at (%d,%d)", p.Name, x, y)
+				}
+				if p.PairLatency(x, y) != p.PairLatency(y, x) {
+					t.Fatalf("%s: asymmetric pair latency at (%d,%d)", p.Name, x, y)
+				}
+			}
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < n; z++ {
+					if x == y || y == z || x == z {
+						continue
+					}
+					if l, via := p.PairLatency(x, z), p.PairLatency(x, y)+p.PairLatency(y, z); l > via {
+						t.Fatalf("%s: triangle violation contexts %d-%d-%d: %d > %d", p.Name, x, y, z, l, via)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParseGenNameRoundTrip: Name and ParseGenName invert each other, and
+// malformed or non-canonical names are client errors.
+func TestParseGenNameRoundTrip(t *testing.T) {
+	for _, spec := range genTestSpecs() {
+		got, err := ParseGenName(spec.Name())
+		if err != nil {
+			t.Fatalf("ParseGenName(%s): %v", spec.Name(), err)
+		}
+		if !reflect.DeepEqual(got, spec) {
+			t.Fatalf("round trip of %s: got %+v want %+v", spec.Name(), got, spec)
+		}
+	}
+	for _, bad := range []string{
+		"gen:",
+		"gen:torus:s4:c2:t1",         // unknown kind
+		"gen:ring:s4:c2",             // missing SMT
+		"gen:ring:s4:c2:tx",          // non-numeric
+		"gen:ring:s4:c2:t1:q9",       // unknown field
+		"gen:ring:s04:c2:t1",         // non-canonical int
+		"gen:ring:s4:c2:t1:v0",       // non-canonical default seed
+		"gen:mesh:s4:c2:t1:g1",       // generators on a non-circulant kind
+		"gen:circulant:s8:c2:t1:g5",  // generator beyond s/2
+		"gen:circulant:s8:c2:t1:g-1", // negative generator splits the list
+	} {
+		spec, err := ParseGenName(bad)
+		if err == nil {
+			// Kind-level errors surface at Generate time instead.
+			if _, err = Generate(spec); err == nil {
+				t.Errorf("ParseGenName(%q) accepted and generated", bad)
+				continue
+			}
+		}
+		if !errors.Is(err, mctoperr.ErrInvalidRequest) {
+			t.Errorf("ParseGenName(%q): err %v, want ErrInvalidRequest", bad, err)
+		}
+	}
+}
+
+// TestByNameGenerated: ByName resolves gen: specs like golden names, keeps
+// rejecting unknown names, and flags malformed gen specs as client errors.
+func TestByNameGenerated(t *testing.T) {
+	name := "gen:ring:s4:c2:t2"
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != name || p.NumContexts() != 16 {
+		t.Fatalf("ByName(%s) = %s with %d contexts", name, p.Name, p.NumContexts())
+	}
+	if _, err := ByName("Ivy"); err != nil {
+		t.Fatalf("golden lookup broke: %v", err)
+	}
+	if _, err := ByName("NoSuch"); !errors.Is(err, mctoperr.ErrUnknownPlatform) {
+		t.Fatalf("unknown name: err %v", err)
+	}
+	if _, err := ByName("gen:ring:sX:c2:t2"); !errors.Is(err, mctoperr.ErrInvalidRequest) {
+		t.Fatalf("malformed gen spec: err %v", err)
+	}
+	if !strings.HasPrefix(name, GenPrefix) {
+		t.Fatal("GenPrefix mismatch")
+	}
+}

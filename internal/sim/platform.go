@@ -17,6 +17,8 @@ package sim
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"repro/internal/mctoperr"
 )
@@ -141,6 +143,26 @@ type Platform struct {
 	// SMTSlowdown is the factor by which a spin loop slows down when the
 	// core's sibling context is busy (used by SMT detection, Section 3.5).
 	SMTSlowdown float64
+
+	// SocketLatMatrix and SocketHopMatrix, when non-nil, describe an
+	// interconnect of arbitrary diameter: entry [a][b] is the ground-truth
+	// cross-socket latency (respectively hop count) between sockets a and b.
+	// The five golden platforms leave them nil and use Links + TwoHopLat
+	// (diameter <= 2); the synthetic generator (Generate) fills them for
+	// mesh/ring/circulant interconnects whose diameter routinely exceeds 2.
+	SocketLatMatrix [][]int64
+	SocketHopMatrix [][]int
+
+	// validateOnce/validateErr memoize the first Validate so per-fork
+	// simulators do not re-pay the O(Sockets^2) consistency scan. Top-level
+	// sims may be built concurrently from one shared Platform (the parallel
+	// measurement pool does), so the memo must be a real Once, not a flag.
+	validateOnce sync.Once
+	validateErr  error
+
+	// maxCrossLat memoizes the worst cross-socket latency (set by Validate)
+	// so MESI upgrade costs do not rescan Links per operation.
+	maxCrossLat int64
 }
 
 // NumContexts returns the total number of hardware contexts.
@@ -228,11 +250,15 @@ func (p *Platform) DirectLink(s1, s2 int) (Link, bool) {
 }
 
 // SocketDistance returns the number of interconnect hops between sockets
-// (0 for the same socket, 1 for a direct link, 2 otherwise — all modeled
-// machines have diameter <= 2).
+// (0 for the same socket, 1 for a direct link, 2 otherwise on the golden
+// platforms, whose diameter is <= 2; generated platforms carry an explicit
+// hop matrix and may be arbitrarily deep).
 func (p *Platform) SocketDistance(s1, s2 int) int {
 	if s1 == s2 {
 		return 0
+	}
+	if p.SocketHopMatrix != nil {
+		return p.SocketHopMatrix[s1][s2]
 	}
 	if _, ok := p.DirectLink(s1, s2); ok {
 		return 1
@@ -243,9 +269,13 @@ func (p *Platform) SocketDistance(s1, s2 int) int {
 // SocketLatency is the ground-truth context-to-context communication
 // latency between (cores of) two sockets, before per-pair spread.
 func (p *Platform) SocketLatency(s1, s2 int) int64 {
-	switch p.SocketDistance(s1, s2) {
-	case 0:
+	if s1 == s2 {
 		return p.IntraSocketLat
+	}
+	if p.SocketLatMatrix != nil {
+		return p.SocketLatMatrix[s1][s2]
+	}
+	switch p.SocketDistance(s1, s2) {
 	case 1:
 		l, _ := p.DirectLink(s1, s2)
 		return l.Lat
@@ -311,8 +341,17 @@ func (p *Platform) PairLatency(x, y int) int64 {
 	return p.SocketLatency(sx, sy) + p.crossOffset(lcx, lcy)
 }
 
-// Validate checks the internal consistency of a platform definition.
+// Validate checks the internal consistency of a platform definition. The
+// first run is memoized (verdict included): simulators are forked once per
+// measured pair (hundreds of thousands of times on large platforms), and
+// each fork shares the already-validated Platform of its parent. A mutated
+// Platform needs a fresh copy to be re-validated.
 func (p *Platform) Validate() error {
+	p.validateOnce.Do(func() { p.validateErr = p.validate() })
+	return p.validateErr
+}
+
+func (p *Platform) validate() error {
 	if p.Sockets < 1 || p.Cores < 1 || p.SMT < 1 {
 		return fmt.Errorf("sim: %s: non-positive dimensions %dx%dx%d", p.Name, p.Sockets, p.Cores, p.SMT)
 	}
@@ -334,18 +373,65 @@ func (p *Platform) Validate() error {
 				p.Name, l.A, l.B, l.Lat, p.IntraSocketLat)
 		}
 	}
-	// Interconnect diameter must be <= 2 (simulated machines use a flat
-	// "level 4" two-hop latency).
-	needTwoHop := false
-	for a := 0; a < p.Sockets; a++ {
-		for b := a + 1; b < p.Sockets; b++ {
-			if p.SocketDistance(a, b) == 2 {
-				needTwoHop = true
+	if (p.SocketLatMatrix == nil) != (p.SocketHopMatrix == nil) {
+		return fmt.Errorf("sim: %s: SocketLatMatrix and SocketHopMatrix must be set together", p.Name)
+	}
+	if p.SocketLatMatrix != nil {
+		// Explicit interconnect matrices: square, symmetric, zero diagonal,
+		// cross latencies strictly above the intra-socket level, hop counts
+		// consistent with latencies being nonzero.
+		if len(p.SocketLatMatrix) != p.Sockets || len(p.SocketHopMatrix) != p.Sockets {
+			return fmt.Errorf("sim: %s: socket matrices must be %d x %d", p.Name, p.Sockets, p.Sockets)
+		}
+		for a := 0; a < p.Sockets; a++ {
+			if len(p.SocketLatMatrix[a]) != p.Sockets || len(p.SocketHopMatrix[a]) != p.Sockets {
+				return fmt.Errorf("sim: %s: socket matrix row %d has wrong width", p.Name, a)
+			}
+			if p.SocketLatMatrix[a][a] != 0 || p.SocketHopMatrix[a][a] != 0 {
+				return fmt.Errorf("sim: %s: socket matrix diagonal must be zero (socket %d)", p.Name, a)
+			}
+			for b := 0; b < p.Sockets; b++ {
+				if a == b {
+					continue
+				}
+				lat, hops := p.SocketLatMatrix[a][b], p.SocketHopMatrix[a][b]
+				if lat != p.SocketLatMatrix[b][a] || hops != p.SocketHopMatrix[b][a] {
+					return fmt.Errorf("sim: %s: socket matrices not symmetric at (%d,%d)", p.Name, a, b)
+				}
+				if hops < 1 {
+					return fmt.Errorf("sim: %s: sockets %d and %d are disconnected", p.Name, a, b)
+				}
+				if lat <= p.IntraSocketLat {
+					return fmt.Errorf("sim: %s: cross latency %d between sockets %d and %d <= intra-socket %d",
+						p.Name, lat, a, b, p.IntraSocketLat)
+				}
+				if lat > p.maxCrossLat {
+					p.maxCrossLat = lat
+				}
 			}
 		}
-	}
-	if needTwoHop && p.TwoHopLat == 0 {
-		return fmt.Errorf("sim: %s: disconnected socket pairs but no TwoHopLat", p.Name)
+	} else {
+		// Interconnect diameter must be <= 2 (the golden machines use a flat
+		// "level 4" two-hop latency).
+		needTwoHop := false
+		for a := 0; a < p.Sockets; a++ {
+			for b := a + 1; b < p.Sockets; b++ {
+				if p.SocketDistance(a, b) == 2 {
+					needTwoHop = true
+				}
+			}
+		}
+		if needTwoHop && p.TwoHopLat == 0 {
+			return fmt.Errorf("sim: %s: disconnected socket pairs but no TwoHopLat", p.Name)
+		}
+		for _, l := range p.Links {
+			if l.Lat > p.maxCrossLat {
+				p.maxCrossLat = l.Lat
+			}
+		}
+		if p.TwoHopLat > p.maxCrossLat {
+			p.maxCrossLat = p.TwoHopLat
+		}
 	}
 	if len(p.MemLat) != p.Sockets || len(p.MemBW) != p.Sockets {
 		return fmt.Errorf("sim: %s: memory matrices must be %d x %d", p.Name, p.Sockets, p.NumNodes())
@@ -580,15 +666,26 @@ func Platforms() []*Platform {
 	return []*Platform{Ivy(), Westmere(), Haswell(), Opteron(), SPARC()}
 }
 
-// ByName returns the named platform (case-sensitive short names as used
-// throughout the paper: Ivy, Westmere, Haswell, Opteron, SPARC).
+// ByName returns the named platform: one of the case-sensitive short names
+// used throughout the paper (Ivy, Westmere, Haswell, Opteron, SPARC), or a
+// "gen:" spec naming a synthetic generated platform (see ParseGenName) —
+// e.g. "gen:ring:s16:c8:t2". Generated platforms are built on the fly, so
+// any component that resolves platforms by name (registry keys, the daemon,
+// the CLIs, the load harness) works on them unchanged.
 func ByName(name string) (*Platform, error) {
 	for _, p := range Platforms() {
 		if p.Name == name {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("sim: %w %q (one of Ivy, Westmere, Haswell, Opteron, SPARC)", mctoperr.ErrUnknownPlatform, name)
+	if strings.HasPrefix(name, GenPrefix) {
+		spec, err := ParseGenName(name)
+		if err != nil {
+			return nil, err
+		}
+		return Generate(spec)
+	}
+	return nil, fmt.Errorf("sim: %w %q (one of Ivy, Westmere, Haswell, Opteron, SPARC, or a gen: spec)", mctoperr.ErrUnknownPlatform, name)
 }
 
 // Custom builds a synthetic fully connected machine for property tests:

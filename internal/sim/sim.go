@@ -78,16 +78,10 @@ func (c costAdapter) UpgradeCost(_ mesi.Op, crossSocket bool) int64 {
 	if !crossSocket {
 		return p.IntraSocketLat
 	}
-	max := int64(0)
-	for _, l := range p.Links {
-		if l.Lat > max {
-			max = l.Lat
-		}
-	}
-	if p.TwoHopLat > max {
-		max = p.TwoHopLat
-	}
-	return max
+	// Worst cross-socket latency, memoized by Validate (which always runs
+	// before the first operation) so the hot coherence path never rescans
+	// the link list.
+	return p.maxCrossLat
 }
 
 // New creates a simulator for the platform with the given noise seed.
@@ -389,6 +383,23 @@ func (s *Sim) Barrier(ts ...*Thread) {
 		}
 	}
 	for _, t := range ts {
+		core := s.p.CoreOf(t.ctx)
+		wait := max - t.now
+		s.burn(core, wait+barrierCost)
+		t.advance(wait + s.scale(barrierCost, core))
+	}
+}
+
+// Barrier2 is Barrier for exactly two threads without the variadic slice —
+// the measurement loop calls it twice per repetition, and the allocation
+// was the dominant garbage source of large-platform inference.
+func (s *Sim) Barrier2(t1, t2 *Thread) {
+	const barrierCost = 60
+	max := t1.now
+	if t2.now > max {
+		max = t2.now
+	}
+	for _, t := range [...]*Thread{t1, t2} {
 		core := s.p.CoreOf(t.ctx)
 		wait := max - t.now
 		s.burn(core, wait+barrierCost)

@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -26,6 +27,22 @@ func Median(xs []int64) int64 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MedianInPlace returns the median of xs, sorting xs in place instead of
+// copying it. It exists for the measurement hot loop, which reuses one
+// buffer across hundreds of thousands of pairs and must not allocate per
+// pair; everywhere else prefer Median, which leaves its input untouched.
+func MedianInPlace(xs []int64) int64 {
+	if len(xs) == 0 {
+		panic("stats: MedianInPlace of empty slice")
+	}
+	slices.Sort(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 // Mean returns the arithmetic mean of xs as a float64.

@@ -125,6 +125,11 @@ func Platforms() []string {
 // Prefer building it with NewOptions and the With* functional options.
 type Options = mctopalg.Options
 
+// SamplingOptions configures the sub-O(N²) sampled measurement mode (see
+// mctopalg.SamplingOptions); enable it with WithSampling or
+// WithSamplingParams.
+type SamplingOptions = mctopalg.SamplingOptions
+
 // InferPlatform simulates one of the paper's machines with the given noise
 // seed, runs MCTOP-ALG on it, enriches the result with all four plugins,
 // and returns the topology.

@@ -36,6 +36,31 @@ func WithSkipMemoryProbe() Option {
 	return func(o *Options) { o.SkipMemoryProbe = true }
 }
 
+// WithSampling enables the sub-O(N²) sampled measurement phase on
+// fork-capable machines with at least 64 hardware contexts: latency
+// signatures against a small pilot set cluster the contexts, one verified
+// representative pair is measured per cluster pair, and the rest of each
+// block is filled with its value — falling back to exhaustive measurement
+// per block (or wholesale, on noisy platforms) whenever verification
+// disagrees. The mode is part of the cache key; on platforms below the
+// context floor it changes nothing.
+func WithSampling() Option {
+	return func(o *Options) { o.Sampling.Enabled = true }
+}
+
+// WithSamplingParams is WithSampling with explicit tuning: pilots is the
+// pilot-set size, minContexts the machine size floor below which inference
+// stays exhaustive, and verifyPerBlock the probe pairs measured per cluster
+// block (0 picks each parameter's default).
+func WithSamplingParams(pilots, minContexts, verifyPerBlock int) Option {
+	return func(o *Options) {
+		o.Sampling.Enabled = true
+		o.Sampling.Pilots = pilots
+		o.Sampling.MinContexts = minContexts
+		o.Sampling.VerifyPerBlock = verifyPerBlock
+	}
+}
+
 // NewOptions builds an inference Options value from functional options.
 // Unset fields keep their zero values, which the pipeline (and the
 // registry's key normalization) resolves to the paper defaults.
