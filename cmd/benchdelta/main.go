@@ -16,6 +16,17 @@
 // errors` fails (exit 1) when any matched benchmark's "errors" metric grew
 // over the previous run. Unlike ns/op, custom metrics gate on any increase
 // — they are counters with a correct value (usually 0), not noisy timings.
+//
+// -baseline pins the comparison to a checked-in reference file instead of
+// the rolling previous run:
+//
+//	benchdelta -baseline bench/baseline.json -max-regress-pct 30 current.json
+//
+// With -baseline only the current file is a positional argument; the
+// previous-vs-current two-argument form is unchanged. A pinned baseline
+// gates drift against a reviewed snapshot — a slow regression spread over
+// many runs cannot hide inside per-run noise the way it can when each run
+// is only compared with its immediate predecessor.
 package main
 
 import (
@@ -46,17 +57,26 @@ func main() {
 		"fail (exit 1) when any benchmark regresses more than this percentage (<= 0 disables the gate)")
 	gateMetric := flag.String("gate-metric", "",
 		"fail (exit 1) when any matched benchmark's named custom metric (e.g. errors) grew over the previous run (empty disables)")
+	baseline := flag.String("baseline", "",
+		"compare against this pinned baseline file instead of a previous-run argument; the single positional argument is then the current file")
 	flag.Parse()
-	if flag.NArg() != 2 {
+	prevPath, curPath := "", ""
+	switch {
+	case *baseline != "" && flag.NArg() == 1:
+		prevPath, curPath = *baseline, flag.Arg(0)
+	case *baseline == "" && flag.NArg() == 2:
+		prevPath, curPath = flag.Arg(0), flag.Arg(1)
+	default:
 		fmt.Fprintln(os.Stderr, "usage: benchdelta [-warn-pct N] [-max-regress-pct N] [-gate-metric NAME] previous.json current.json")
+		fmt.Fprintln(os.Stderr, "       benchdelta -baseline baseline.json [flags] current.json")
 		os.Exit(2)
 	}
-	prev, err := load(flag.Arg(0))
+	prev, err := load(prevPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
 		os.Exit(2)
 	}
-	cur, err := load(flag.Arg(1))
+	cur, err := load(curPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
 		os.Exit(2)

@@ -41,6 +41,8 @@ func loadMain(args []string) int {
 		chaos     = fs.Bool("chaos", false,
 			"verify every 200 body against first-seen goldens and bound each request's duration: corrupt bytes or hangs fail the run (pair with a daemon started with -faults)")
 		chaosTO = fs.Duration("chaos-timeout", 15*time.Second, "per-request hang budget in -chaos mode")
+		traces  = fs.Bool("traces", false,
+			"scrape the daemon's /v1/debug/traces after the run and report per-span latency attribution (needs mctopd -trace-sample > 0)")
 
 		sloErr = fs.Float64("slo-max-error-rate", 0, "fail if errors/requests exceeds this (0 = unchecked)")
 		sloRPS = fs.Float64("slo-min-rps", 0, "fail if overall throughput is below this (0 = unchecked)")
@@ -65,6 +67,7 @@ func loadMain(args []string) int {
 		Seed:         *seed,
 		Chaos:        *chaos,
 		ChaosTimeout: *chaosTO,
+		Traces:       *traces,
 		SLO: loadgen.SLO{
 			MaxErrorRate:  *sloErr,
 			MinThroughput: *sloRPS,

@@ -56,6 +56,9 @@
 //	                                       file or a .place sidecar — what
 //	                                       fleet edges fetch
 //	GET  /v1/stats                         registry hit/miss/eviction counters
+//	GET  /v1/debug/traces                  finished request traces (with
+//	                                       -trace-sample > 0): JSON, or one
+//	                                       trace per line with ?format=ndjson
 //	GET  /metrics                          Prometheus text exposition (exempt
 //	                                       from backpressure)
 //	GET  /debug/pprof/                     net/http/pprof, with -pprof
@@ -125,6 +128,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spool"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // daemonConfig is everything the flags decide, decoupled from the flag
@@ -145,6 +149,9 @@ type daemonConfig struct {
 	faults         string
 	faultsSeed     uint64
 	requestTimeout time.Duration
+	traceSample    float64
+	traceSlow      time.Duration
+	traceRing      int
 }
 
 func main() {
@@ -174,6 +181,12 @@ func main() {
 		"seed for the fault-injection probability stream (same seed + same request sequence = same faults)")
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 0,
 		"per-request server-side deadline for buffered routes; a wedged tier becomes an honest 504 instead of a hung connection (0 = off; streaming and observability routes are exempt)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0,
+		"head-sampling probability in [0,1] for request traces served at /v1/debug/traces; 0 disables tracing entirely (traces with errors, and with -trace-slow traces over the threshold, are kept regardless of the head decision)")
+	flag.DurationVar(&cfg.traceSlow, "trace-slow", 0,
+		"keep every trace whose request runs at least this long, regardless of the sampling decision (0 = off; only meaningful with -trace-sample > 0)")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 0,
+		"bound on finished traces held in memory for /v1/debug/traces (<= 0 = default 128)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -200,6 +213,24 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 		log.Printf("mctopd: fault injection armed (seed %d): %s", cfg.faultsSeed, cfg.faults)
 	}
 
+	// The span plane. Seeded from the listen address so two daemons of one
+	// fleet draw distinct ID streams yet each is reproducible run to run;
+	// with -trace-sample 0 the tracer is disabled and every instrumentation
+	// call below it is a no-op.
+	tracerOpts := []trace.Option{
+		trace.WithSampleRate(cfg.traceSample),
+		trace.WithSlowThreshold(cfg.traceSlow),
+		trace.WithSeed(traceSeed(cfg.addr)),
+	}
+	if cfg.traceRing > 0 {
+		tracerOpts = append(tracerOpts, trace.WithRingSize(cfg.traceRing))
+	}
+	tracer := trace.New(tracerOpts...)
+	if tracer.Enabled() {
+		log.Printf("mctopd: tracing %.3g of requests (slow threshold %v) at /v1/debug/traces",
+			cfg.traceSample, cfg.traceSlow)
+	}
+
 	// Tier chain, fastest first: LRU → spool (optional) → remote
 	// (optional) — any daemon is an origin to its downstreams and, with
 	// -upstream, an edge to its origin at the same time. With neither
@@ -222,6 +253,12 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 			}
 			if faults != nil {
 				spOpts = append(spOpts, spool.WithFaults(faults))
+			}
+			if tracer.Enabled() {
+				// The spool's write-behind goroutine runs outside any
+				// request; the tracer lets it open its own root spans for
+				// persists and quarantines.
+				spOpts = append(spOpts, spool.WithTracer(tracer))
 			}
 			var err error
 			if sp, err = spool.New(cfg.spoolDir, spOpts...); err != nil {
@@ -290,6 +327,7 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 	}
 	reg := mctop.NewRegistry(cfg.cache, regOpts...)
 	s = newServerWith(reg, cfg.reps, cfg.maxInflight)
+	s.tracer = tracer
 	s.maxContexts = cfg.maxContexts
 	s.defaultSampling = cfg.sampling
 	s.pprof = cfg.pprof
@@ -355,6 +393,21 @@ func run(ctx context.Context, cfg daemonConfig, onReady func(addr string)) error
 	return nil
 }
 
+// traceSeed derives the tracer's ID-stream seed from the listen address
+// (FNV-1a), so each daemon of a fleet draws distinct trace/span IDs while
+// any one daemon's stream is reproducible across restarts. Never zero.
+func traceSeed(addr string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
 // server holds the daemon's registry and defaults; split from main so tests
 // can drive the handlers through httptest.
 type server struct {
@@ -385,6 +438,10 @@ type server struct {
 	// deadline (withDeadlines); streaming and observability routes are
 	// exempt.
 	reqTimeout time.Duration
+	// tracer is the span plane behind /v1/debug/traces. Never nil: the
+	// default is a disabled tracer (sample rate 0) that still mints
+	// request IDs; -trace-sample arms it in main.
+	tracer *trace.Tracer
 }
 
 // readyProbe is one tier's degradation check: degraded=true with a
@@ -408,6 +465,7 @@ func newServerWith(reg *mctop.Registry, defaultReps, maxInflight int) *server {
 		defaultReps: defaultReps,
 		metrics:     newDaemonMetrics(),
 		logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		tracer:      trace.New(),
 	}
 	if maxInflight > 0 {
 		s.inflight = make(chan struct{}, maxInflight)
@@ -428,6 +486,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/map", s.handleMap)
 	mux.HandleFunc("/v1/export", s.handleExport)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/debug/traces", s.handleTraces)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -445,7 +504,16 @@ func (s *server) routes() http.Handler {
 // operator needs its metrics and profiles.
 func exemptFromBackpressure(path string) bool {
 	return path == "/healthz" || path == "/readyz" || path == "/metrics" ||
-		strings.HasPrefix(path, "/debug/pprof/")
+		path == "/v1/debug/traces" || strings.HasPrefix(path, "/debug/pprof/")
+}
+
+// exemptFromTracing lists the routes that never open spans: probe and
+// scrape traffic would otherwise occupy ring slots and skew sampling
+// toward the orchestrator's polling cadence, and reading the trace dump
+// must not create traces. Today the set coincides with the backpressure
+// exemptions; the separate name keeps the two contracts independent.
+func exemptFromTracing(path string) bool {
+	return exemptFromBackpressure(path)
 }
 
 // withDeadlines bounds every buffered route with a server-side request
@@ -1080,6 +1148,26 @@ type statsResponse struct {
 	registry.Stats
 	Ready    bool           `json:"ready"`
 	Degraded []degradedTier `json:"degraded,omitempty"`
+}
+
+// handleTraces dumps the tracer's bounded ring of finished, kept traces —
+// oldest first, the local root leading each trace. JSON by default;
+// ?format=ndjson emits one trace per line (what mctop-bench load and the
+// CI stitching smoke scrape). The route is exempt from tracing itself, so
+// reading traces never creates them. With -trace-sample 0 the ring is
+// simply empty, not an error.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteJSON(w, traces)
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		trace.WriteNDJSON(w, traces)
+	default:
+		writeErrStatus(w, fmt.Errorf("%w: unknown format %q (json, ndjson)", mctoperr.ErrInvalidRequest, format))
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/remote"
+	"repro/internal/trace"
 )
 
 // daemonMetrics is mctopd's metric set over internal/metrics.
@@ -226,7 +227,8 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/platforms", "/v1/policies", "/v1/topology", "/v1/place",
-		"/v1/place/batch", "/v1/map", "/v1/export", "/v1/stats":
+		"/v1/place/batch", "/v1/map", "/v1/export", "/v1/stats",
+		"/v1/debug/traces":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {
@@ -264,17 +266,54 @@ func (sr *statusRecorder) Flush() {
 // instrument is the outermost middleware: it wraps every route (the
 // backpressure layer included, so shed 503s are counted and logged like any
 // response) with the per-route counter and duration histogram, the
-// served-by-tier attribution, and one structured log line per request.
+// served-by-tier attribution, the request's root span and ID, and one
+// structured log line per request.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := routeLabel(r.URL.Path)
 		ctx, served := registry.ContextWithServed(r.Context())
+
+		// Request ID: honor the caller's X-Request-ID, mint one otherwise
+		// (RequestID works on a disabled tracer), and echo it on every
+		// response — instrument is outermost, so the shedding layer's 503s
+		// and the deadline layer's 504s carry it too.
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = s.tracer.RequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+
+		// Root span, stitched into the caller's trace when the request
+		// carries a traceparent (the edge's remote tier sends one). Probe
+		// and scrape routes never open spans — a Prometheus poll must not
+		// occupy ring slots or skew sampling.
+		var sp *trace.Span
+		if !exemptFromTracing(r.URL.Path) {
+			ctx, sp = s.tracer.StartRoot(ctx, "http "+route, r.Header.Get("traceparent"))
+			sp.SetAttr("route", route)
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("request_id", reqID)
+		}
+
 		sr := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sr, r.WithContext(ctx))
 		dur := time.Since(start)
 		if sr.status == 0 {
 			sr.status = http.StatusOK // handler wrote nothing; net/http sends 200
+		}
+		if sp != nil {
+			sp.SetInt("status", int64(sr.status))
+			if sr.status >= 500 {
+				// 5xx marks the span failed, so the trace is kept whatever
+				// the head decision said — errors are the traces worth
+				// reading.
+				sp.SetStatus(http.StatusText(sr.status))
+			}
+			if served.Tier != "" {
+				sp.SetAttr("tier", served.Tier)
+			}
+			sp.End()
 		}
 		s.metrics.httpRequests.With(route, r.Method, strconv3(sr.status)).Inc()
 		s.metrics.httpDuration.With(route).Observe(dur.Seconds())
@@ -287,6 +326,10 @@ func (s *server) instrument(next http.Handler) http.Handler {
 				"method", r.Method,
 				"status", sr.status,
 				"dur", dur,
+				"request_id", reqID,
+			}
+			if sp != nil {
+				attrs = append(attrs, "trace_id", sp.TraceIDString(), "span_id", sp.SpanIDString())
 			}
 			q := r.URL.Query()
 			if v := q.Get("platform"); v != "" {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Route names the five request shapes the generator issues.
@@ -130,6 +131,13 @@ type Config struct {
 	// ChaosState carries goldens across runs; nil gets a fresh store. Pass
 	// the same state to a healthy run first to pin goldens before faults.
 	ChaosState *ChaosState
+	// Traces scrapes the target's /v1/debug/traces after the run and
+	// aggregates per-span latency attribution into Report.Spans — where
+	// the request time went (tier lookups, inference phases, spool and
+	// remote I/O), not just that it was spent. Only meaningful against a
+	// daemon running with -trace-sample > 0; scrape failures leave
+	// Report.Spans empty rather than failing the run.
+	Traces bool
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +190,17 @@ type obs struct {
 	hang    bool
 }
 
+// SpanStats is one span name's aggregate over every trace scraped from
+// the target after a run — the per-operation latency attribution behind
+// the route-level percentiles.
+type SpanStats struct {
+	Name   string        `json:"name"`
+	Count  int64         `json:"count"`
+	Errors int64         `json:"errors"`
+	Mean   time.Duration `json:"mean"`
+	Max    time.Duration `json:"max"`
+}
+
 // RouteStats is one route's share of a Report.
 type RouteStats struct {
 	Route    string        `json:"route"`
@@ -210,6 +229,9 @@ type Report struct {
 	Hangs   int64 `json:"hangs,omitempty"`
 	// SLOFailures lists every violated SLO bound, empty on a pass.
 	SLOFailures []string `json:"slo_failures,omitempty"`
+	// Spans is the per-span latency attribution scraped from the target's
+	// /v1/debug/traces (Config.Traces; empty when tracing is off).
+	Spans []SpanStats `json:"spans,omitempty"`
 }
 
 // OK reports whether the run met every configured SLO bound.
@@ -263,7 +285,66 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	elapsed := time.Since(start)
 
 	rep := aggregate(cfg, perW, elapsed)
+	if cfg.Traces {
+		rep.Spans = scrapeSpans(cfg)
+	}
 	return rep, nil
+}
+
+// scrapeSpans pulls the target's finished traces and folds every span into
+// per-name aggregates, sorted by total time descending so the dominant
+// operation leads. Best effort: any scrape or parse failure returns nil —
+// a daemon without tracing armed is not a load-run failure.
+func scrapeSpans(cfg Config) []SpanStats {
+	resp, err := cfg.Client.Get(cfg.Target + "/v1/debug/traces?format=ndjson")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	traces, err := trace.ParseNDJSON(resp.Body)
+	if err != nil {
+		return nil
+	}
+	type agg struct{ count, errs, sum, max int64 }
+	byName := make(map[string]*agg)
+	for _, td := range traces {
+		for _, sp := range td.Spans {
+			a := byName[sp.Name]
+			if a == nil {
+				a = &agg{}
+				byName[sp.Name] = a
+			}
+			a.count++
+			if sp.Error != "" {
+				a.errs++
+			}
+			a.sum += sp.Duration
+			if sp.Duration > a.max {
+				a.max = sp.Duration
+			}
+		}
+	}
+	out := make([]SpanStats, 0, len(byName))
+	for name, a := range byName {
+		out = append(out, SpanStats{
+			Name:   name,
+			Count:  a.count,
+			Errors: a.errs,
+			Mean:   time.Duration(a.sum / a.count),
+			Max:    time.Duration(a.max),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Mean*time.Duration(out[i].Count), out[j].Mean*time.Duration(out[j].Count)
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // issueOne picks a shape by mix weight, issues it, and records wall time.

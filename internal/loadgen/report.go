@@ -28,6 +28,14 @@ func (r *Report) String() string {
 			rs.Route, rs.Requests, rs.Errors,
 			round(rs.Mean), round(rs.P50), round(rs.P95), round(rs.P99), round(rs.Max))
 	}
+	if len(r.Spans) > 0 {
+		fmt.Fprintf(&b, "span attribution (scraped from /v1/debug/traces):\n")
+		fmt.Fprintf(&b, "%-26s %8s %7s %10s %10s\n", "span", "count", "errs", "mean", "max")
+		for _, ss := range r.Spans {
+			fmt.Fprintf(&b, "%-26s %8d %7d %10s %10s\n",
+				ss.Name, ss.Count, ss.Errors, round(ss.Mean), round(ss.Max))
+		}
+	}
 	if len(r.SLOFailures) == 0 {
 		b.WriteString("SLO: pass\n")
 	} else {

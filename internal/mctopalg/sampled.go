@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // SamplingOptions configures the sampled measurement mode. The zero value
@@ -139,7 +140,10 @@ func collectTableSampled(ctx context.Context, fk machine.Forker, m machine.Machi
 	}
 
 	// Phase 1: pilots. Evenly spaced pilot contexts, every pair touching
-	// one of them, in canonical (x, y) order.
+	// one of them, in canonical (x, y) order. Each phase below is one span
+	// on a traced request — never one per pair; the measurement hot loop
+	// stays allocation-free.
+	_, pilotSpan := trace.Start(ctx, "infer.pilots")
 	k := opt.Sampling.pilotCount(n)
 	stride := n / k
 	pilots := make([]int, k)
@@ -162,12 +166,18 @@ func collectTableSampled(ctx context.Context, fk machine.Forker, m machine.Machi
 			}
 		}
 	}
+	pilotSpan.SetInt("pilots", int64(k))
+	pilotSpan.SetInt("pairs", int64(len(wave1)))
 	if err := measure(wave1); err != nil {
+		pilotSpan.SetError(err)
+		pilotSpan.End()
 		return err
 	}
+	pilotSpan.End()
 
 	// Classes: non-pilot contexts grouped by their latency signature to the
 	// pilots. Pilot contexts are fully measured already and join no class.
+	_, classSpan := trace.Start(ctx, "infer.classify")
 	classIdx := map[string]int{}
 	var classes [][]int
 	var sigb strings.Builder
@@ -209,9 +219,13 @@ func collectTableSampled(ctx context.Context, fk machine.Forker, m machine.Machi
 			break
 		}
 	}
+	classSpan.SetInt("classes", int64(len(classes)))
+	classSpan.SetBool("noisy", noisy)
+	classSpan.End()
 
 	// Phase 2: per class-pair block, decide representative + probes, or
 	// exhaustive fallback.
+	_, verifySpan := trace.Start(ctx, "infer.verify")
 	V := opt.Sampling.VerifyPerBlock
 	type block struct {
 		pairs    []ctxPair // unmeasured pairs, canonical order
@@ -260,11 +274,17 @@ func collectTableSampled(ctx context.Context, fk machine.Forker, m machine.Machi
 			wave2 = append(wave2, b.pairs[pi])
 		}
 	}
+	verifySpan.SetInt("pairs", int64(len(wave2)))
+	verifySpan.SetInt("blocks", int64(len(blocks)))
 	if err := measure(wave2); err != nil {
+		verifySpan.SetError(err)
+		verifySpan.End()
 		return err
 	}
+	verifySpan.End()
 
 	// Phase 3: fill verified blocks, exhaustively measure the rest.
+	_, fillSpan := trace.Start(ctx, "infer.fill")
 	var wave3 []ctxPair
 	for _, b := range blocks {
 		rep := res.RawTable[b.pairs[b.probeIdx[0]].x][b.pairs[b.probeIdx[0]].y]
@@ -292,9 +312,14 @@ func collectTableSampled(ctx context.Context, fk machine.Forker, m machine.Machi
 			}
 		}
 	}
+	fillSpan.SetInt("filled", int64(res.FilledPairs))
+	fillSpan.SetInt("fallback_blocks", int64(res.FallbackBlocks))
 	if err := measure(wave3); err != nil {
+		fillSpan.SetError(err)
+		fillSpan.End()
 		return err
 	}
+	fillSpan.End()
 
 	// Every off-diagonal entry must now be measured or filled.
 	for x := 0; x < n-1; x++ {

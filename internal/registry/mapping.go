@@ -22,6 +22,7 @@ import (
 	"repro/internal/mctoperr"
 	"repro/internal/taskmap"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // MapFunc computes a task-graph mapping on a cache miss. The default is
@@ -152,14 +153,20 @@ func (r *Registry) MapDAGContext(ctx context.Context, platform string, seed uint
 	}
 	key := mapKey(topoKey(platform, seed, opt), d.Hash(), len(d.Nodes), len(d.Edges), refineBudget)
 	v, _, err := r.get(ctx, KindMapping, key, func(ctx context.Context) (any, error) {
+		ctx, msp := trace.Start(ctx, "registry.map")
+		msp.SetInt("nodes", int64(len(d.Nodes)))
+		msp.SetInt("edges", int64(len(d.Edges)))
+		defer msp.End()
 		t, err := r.TopologyContext(ctx, platform, seed, opt)
 		if err != nil {
+			msp.SetError(err)
 			return nil, err
 		}
 		r.mappings.Add(1)
 		start := time.Now()
 		m, err := r.mapFn(ctx, t, d, taskmap.Options{RefineBudget: refineBudget})
 		r.observeMapping(start, err)
+		msp.SetError(err)
 		return m, err
 	})
 	if err != nil {

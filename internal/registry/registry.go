@@ -34,6 +34,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/taskmap"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // InferFunc produces a topology for a platform/seed/options triple. The
@@ -195,21 +196,42 @@ func (r *Registry) flightOf(key string) *flightShard {
 // cancellation: they retry the lookup, and one of them becomes the next
 // owner — one flaky client must not fail every concurrent miss on the key.
 func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(context.Context) (any, error)) (val any, hit bool, err error) {
+	// The lookup span covers the whole resolution — store walk,
+	// singleflight wait or owned compute — and records which tier answered.
+	// With no span in ctx this is one context lookup and every call below
+	// is a nil-receiver no-op.
+	ctx, lsp := trace.Start(ctx, "registry.lookup")
+	lsp.SetAttr("kind", kind.String())
+	defer func() {
+		lsp.SetBool("hit", hit)
+		lsp.SetError(err)
+		lsp.End()
+	}()
 	// getStore resolves through the store, attributing the serving tier
 	// when the store can name it (Tiered and the builtin tiers can) — the
 	// record behind request logs' tier field and the served-by-tier
 	// counters.
 	getStore := func() (any, bool) {
+		if tg, ok := r.store.(CtxTierGetter); ok {
+			v, tier, ok := tg.GetWithTierContext(ctx, kind, key)
+			if ok {
+				setServed(ctx, tier)
+				lsp.SetAttr("tier", tier)
+			}
+			return v, ok
+		}
 		if tg, ok := r.store.(TierGetter); ok {
 			v, tier, ok := tg.GetWithTier(kind, key)
 			if ok {
 				setServed(ctx, tier)
+				lsp.SetAttr("tier", tier)
 			}
 			return v, ok
 		}
-		v, ok := r.store.Get(kind, key)
+		v, ok := tierGet(ctx, r.store, kind, key)
 		if ok {
 			setServed(ctx, tierNameOf(r.store))
+			lsp.SetAttr("tier", tierNameOf(r.store))
 		}
 		return v, ok
 	}
@@ -237,14 +259,17 @@ func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(conte
 		}
 		if w, ok := f.inflight[key]; ok {
 			f.mu.Unlock()
+			lsp.AddEvent("singleflight.wait")
 			select {
 			case <-w.done:
 				if w.err != nil && ctx.Err() == nil &&
 					(errors.Is(w.err, context.Canceled) || errors.Is(w.err, context.DeadlineExceeded)) {
-					continue // the owner's ctx fired, not ours: retry
+					lsp.AddEvent("singleflight.retry") // the owner's ctx fired, not ours
+					continue
 				}
 				if w.err == nil {
 					setServed(ctx, "coalesced")
+					lsp.SetAttr("tier", "coalesced")
 				}
 				return w.val, false, w.err
 			case <-ctx.Done():
@@ -277,6 +302,7 @@ func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(conte
 		close(c.done)
 	}()
 
+	lsp.AddEvent("singleflight.owner")
 	c.val, c.err = fn(ctx)
 	completed = true
 	if c.err == nil {
@@ -284,6 +310,7 @@ func (r *Registry) get(ctx context.Context, kind Kind, key string, fn func(conte
 		// compute hits the store for its topology): the request's answer
 		// was computed here.
 		setServed(ctx, "computed")
+		lsp.SetAttr("tier", "computed")
 	}
 	return c.val, false, c.err
 }
@@ -368,6 +395,9 @@ func (r *Registry) LookupTopology(platform string, seed uint64, opt mctopalg.Opt
 // LookupTopologyContext is LookupTopology with cancellation.
 func (r *Registry) LookupTopologyContext(ctx context.Context, platform string, seed uint64, opt mctopalg.Options) (*topo.Topology, bool, error) {
 	v, hit, err := r.get(ctx, KindTopology, topoKey(platform, seed, opt), func(ctx context.Context) (any, error) {
+		ctx, isp := trace.Start(ctx, "registry.infer")
+		isp.SetAttr("platform", platform)
+		defer isp.End()
 		// Only inferences take a compute slot. Placement computes stay
 		// ungated: they are cheap, and a placement miss computes its
 		// topology through this very path — gating both would let two
@@ -377,8 +407,10 @@ func (r *Registry) LookupTopologyContext(ctx context.Context, platform string, s
 		if r.computes != nil {
 			select {
 			case r.computes <- struct{}{}:
+				isp.AddEvent("semaphore.acquired")
 				defer func() { <-r.computes }()
 			case <-ctx.Done():
+				isp.SetError(ctx.Err())
 				return nil, ctx.Err()
 			}
 		}
@@ -386,6 +418,7 @@ func (r *Registry) LookupTopologyContext(ctx context.Context, platform string, s
 		start := time.Now()
 		t, err := r.infer(ctx, platform, seed, opt)
 		r.observeInference(start, err)
+		isp.SetError(err)
 		return t, err
 	})
 	if err != nil {
@@ -445,14 +478,19 @@ func (r *Registry) PlaceWithContext(ctx context.Context, platform string, seed u
 	}
 	key := placeKey(topoKey(platform, seed, opt), pol, nThreads)
 	v, _, err := r.get(ctx, KindPlacement, key, func(ctx context.Context) (any, error) {
+		ctx, psp := trace.Start(ctx, "registry.place")
+		psp.SetAttr("policy", pol.Name())
+		defer psp.End()
 		t, err := r.TopologyContext(ctx, platform, seed, opt)
 		if err != nil {
+			psp.SetError(err)
 			return nil, err
 		}
 		r.placements.Add(1)
 		start := time.Now()
 		pl, err := place.NewFrom(t, pol, place.Options{NThreads: nThreads})
 		r.observePlacement(start, err)
+		psp.SetError(err)
 		return pl, err
 	})
 	if err != nil {

@@ -1,6 +1,9 @@
 package registry
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // The tiered topology store. The registry's cache sits behind the Store
 // interface so deployments can compose storage tiers: the default is the
@@ -154,6 +157,20 @@ type TierGetter interface {
 	GetWithTier(kind Kind, key string) (val any, tier string, ok bool)
 }
 
+// CtxGetter is the optional Store extension for tiers that thread the
+// request context through their reads — today that means tracing spans
+// (spool decodes, remote fetches); the context never carries cancellation
+// semantics a plain Get would lack.
+type CtxGetter interface {
+	GetContext(ctx context.Context, kind Kind, key string) (any, bool)
+}
+
+// CtxTierGetter is TierGetter with the request context threaded through.
+// The registry prefers it over TierGetter when present.
+type CtxTierGetter interface {
+	GetWithTierContext(ctx context.Context, kind Kind, key string) (val any, tier string, ok bool)
+}
+
 // Flusher is the optional Store extension for tiers with buffered writes:
 // Flush blocks until every accepted Put is durable. Registry.Flush and the
 // daemon's graceful shutdown call it through the chain.
@@ -199,8 +216,16 @@ func (t *Tiered) Get(kind Kind, key string) (any, bool) {
 // GetWithTier implements TierGetter: Get plus the name of the tier that
 // served the hit.
 func (t *Tiered) GetWithTier(kind Kind, key string) (any, string, bool) {
+	return t.GetWithTierContext(context.Background(), kind, key)
+}
+
+// GetWithTierContext implements CtxTierGetter: the read-through walk with
+// the request context handed to tiers that accept one, so a traced request
+// attributes its time to the tier that actually did the work.
+func (t *Tiered) GetWithTierContext(ctx context.Context, kind Kind, key string) (any, string, bool) {
 	for i, s := range t.tiers {
-		if v, ok := s.Get(kind, key); ok {
+		v, ok := tierGet(ctx, s, kind, key)
+		if ok {
 			for j := 0; j < i; j++ {
 				t.tiers[j].Put(kind, key, v)
 			}
@@ -208,6 +233,15 @@ func (t *Tiered) GetWithTier(kind Kind, key string) (any, string, bool) {
 		}
 	}
 	return nil, "", false
+}
+
+// tierGet reads one tier, through its context-aware extension when it has
+// one.
+func tierGet(ctx context.Context, s Store, kind Kind, key string) (any, bool) {
+	if cg, ok := s.(CtxGetter); ok {
+		return cg.GetContext(ctx, kind, key)
+	}
+	return s.Get(kind, key)
 }
 
 // Put implements Store: write-through to every tier.

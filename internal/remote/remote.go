@@ -48,6 +48,7 @@ import (
 	"repro/internal/spool"
 	"repro/internal/taskmap"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 const (
@@ -245,6 +246,17 @@ func (r *Remote) Base() string { return r.base }
 // Get implements registry.Store: fetch the entry's description file from
 // the origin, degrading every failure to a miss.
 func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
+	return r.GetContext(context.Background(), kind, key)
+}
+
+// GetContext implements registry's CtxGetter extension: Get with the
+// request context threaded through. The context carries tracing only —
+// each upstream attempt becomes a span, and the traceparent header it
+// emits stitches the origin's spans into this trace. It deliberately does
+// NOT carry cancellation: the fetch keeps its own timeout-from-Background
+// context, so a fetch shared by singleflight waiters survives the first
+// caller hanging up (see fetch).
+func (r *Remote) GetContext(ctx context.Context, kind registry.Kind, key string) (any, bool) {
 	now := r.now()
 	r.mu.Lock()
 	if until, ok := r.neg[key]; ok && !now.Before(until) {
@@ -252,12 +264,17 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 	}
 	if now.Before(r.down) || now.Before(r.neg[key]) {
 		r.mu.Unlock()
+		// No fetch happens, so no span: note the skip on the enclosing
+		// lookup span instead — the trace of a request served by local
+		// re-inference should say why the origin was not consulted.
+		trace.SpanFromContext(ctx).AddEvent("remote.backoff_skip")
 		r.misses.Add(1)
 		r.kindMisses[kindIndex(kind)].Add(1)
 		return nil, false
 	}
 	if c, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
+		trace.SpanFromContext(ctx).AddEvent("remote.coalesced_wait")
 		<-c.done
 		if c.ok {
 			r.hits.Add(1)
@@ -272,14 +289,15 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 	r.inflight[key] = c
 	r.mu.Unlock()
 
-	v, err, originFault := r.fetchObserved(kind, key)
+	v, err, originFault := r.fetchObserved(ctx, kind, key, 0, 0)
 	// Bounded retries on origin faults only: a connection blip or one 5xx
 	// is retried after a short jittered delay instead of immediately
 	// opening the origin-down window; key-level faults (4xx, undecodable
 	// bodies) retry nothing — the origin answered, the answer won't change.
 	for attempt := 0; err != nil && originFault && attempt < r.retries; attempt++ {
-		r.sleep(r.jitteredDelay(attempt))
-		v, err, originFault = r.fetchObserved(kind, key)
+		delay := r.jitteredDelay(attempt)
+		r.sleep(delay)
+		v, err, originFault = r.fetchObserved(ctx, kind, key, attempt+1, delay)
 	}
 	now = r.now()
 	r.mu.Lock()
@@ -338,9 +356,11 @@ func (r *Remote) Get(kind registry.Kind, key string) (any, bool) {
 // fetchObserved is one fetch attempt plus its observer callback — each
 // retry attempt is observed individually, so the fetch-latency histogram
 // and outcome counters see every upstream request, not just the last.
-func (r *Remote) fetchObserved(kind registry.Kind, key string) (val any, err error, originFault bool) {
+// attempt and backoff annotate the attempt's span: which retry this is and
+// how long the jittered pause before it was.
+func (r *Remote) fetchObserved(ctx context.Context, kind registry.Kind, key string, attempt int, backoff time.Duration) (val any, err error, originFault bool) {
 	start := r.now()
-	val, err, originFault = r.fetch(kind, key)
+	val, err, originFault = r.fetch(ctx, kind, key, attempt, backoff)
 	if r.observe != nil {
 		outcome := "ok"
 		switch {
@@ -375,13 +395,31 @@ func (r *Remote) jitteredDelay(attempt int) time.Duration {
 // originFault distinguishes origin-level failures (dial errors, timeouts,
 // 5xx — back off from the origin) from per-key ones (4xx, undecodable
 // bodies — negative-cache the key).
-func (r *Remote) fetch(kind registry.Kind, key string) (val any, err error, originFault bool) {
-	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+//
+// The HTTP request runs under its own timeout-from-Background context —
+// NOT the caller's — so a fetch whose result singleflight waiters share is
+// never cancelled by the first caller hanging up. The caller's context
+// contributes tracing only: this attempt's span, and the traceparent
+// header that makes the origin's handler a child of it.
+func (r *Remote) fetch(ctx context.Context, kind registry.Kind, key string, attempt int, backoff time.Duration) (val any, err error, originFault bool) {
+	ctx, sp := trace.Start(ctx, "remote.fetch")
+	sp.SetInt("attempt", int64(attempt))
+	if backoff > 0 {
+		sp.SetAttr("backoff", backoff.String())
+	}
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	reqCtx, cancel := context.WithTimeout(context.Background(), r.timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet,
 		r.base+"/v1/export?key="+url.QueryEscape(key), nil)
 	if err != nil {
 		return nil, err, false
+	}
+	if h := sp.Traceparent(); h != "" {
+		req.Header.Set("traceparent", h)
 	}
 	r.fetches.Add(1)
 	resp, err := r.client.Do(req)
@@ -400,10 +438,10 @@ func (r *Remote) fetch(kind registry.Kind, key string) (val any, err error, orig
 		t, err := r.decodeTopology(key, body)
 		return t, err, false
 	case registry.KindPlacement:
-		p, err := r.decodePlacement(key, body)
+		p, err := r.decodePlacement(ctx, key, body)
 		return p, err, false
 	case registry.KindMapping:
-		m, err := r.decodeMapping(key, body)
+		m, err := r.decodeMapping(ctx, key, body)
 		return m, err, false
 	default:
 		return nil, fmt.Errorf("unknown entry kind %v", kind), false
@@ -425,7 +463,7 @@ func (r *Remote) decodeTopology(key string, body io.Reader) (*topo.Topology, err
 	return t, nil
 }
 
-func (r *Remote) decodePlacement(key string, body io.Reader) (*place.Placement, error) {
+func (r *Remote) decodePlacement(ctx context.Context, key string, body io.Reader) (*place.Placement, error) {
 	side, err := spool.DecodeSidecar(body)
 	if err != nil {
 		return nil, err
@@ -433,14 +471,14 @@ func (r *Remote) decodePlacement(key string, body io.Reader) (*place.Placement, 
 	if side.Key != "" && side.Key != key {
 		return nil, fmt.Errorf("key header names %q", side.Key)
 	}
-	t, err := r.topologyFor(side.TopoKey)
+	t, err := r.topologyFor(ctx, side.TopoKey)
 	if err != nil {
 		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
 	}
 	return place.Reconstruct(t, side.Policy, side.Ctxs)
 }
 
-func (r *Remote) decodeMapping(key string, body io.Reader) (*taskmap.Mapping, error) {
+func (r *Remote) decodeMapping(ctx context.Context, key string, body io.Reader) (*taskmap.Mapping, error) {
 	side, err := spool.DecodeMapSidecar(body)
 	if err != nil {
 		return nil, err
@@ -448,7 +486,7 @@ func (r *Remote) decodeMapping(key string, body io.Reader) (*taskmap.Mapping, er
 	if side.Key != "" && side.Key != key {
 		return nil, fmt.Errorf("key header names %q", side.Key)
 	}
-	t, err := r.topologyFor(side.TopoKey)
+	t, err := r.topologyFor(ctx, side.TopoKey)
 	if err != nil {
 		return nil, fmt.Errorf("topology %q: %w", side.TopoKey, err)
 	}
@@ -457,8 +495,9 @@ func (r *Remote) decodeMapping(key string, body io.Reader) (*taskmap.Mapping, er
 
 // topologyFor resolves the topology a sidecar references: the memo first,
 // then a recursive Get — which rides the tier's own singleflight and
-// negative cache, so many sidecars of one topology fetch it once.
-func (r *Remote) topologyFor(topoKey string) (*topo.Topology, error) {
+// negative cache, so many sidecars of one topology fetch it once. The
+// context parents the nested fetch's span under the sidecar attempt.
+func (r *Remote) topologyFor(ctx context.Context, topoKey string) (*topo.Topology, error) {
 	r.lastMu.Lock()
 	if r.lastKey == topoKey && r.lastTopo != nil {
 		t := r.lastTopo
@@ -466,7 +505,7 @@ func (r *Remote) topologyFor(topoKey string) (*topo.Topology, error) {
 		return t, nil
 	}
 	r.lastMu.Unlock()
-	v, ok := r.Get(registry.KindTopology, topoKey)
+	v, ok := r.GetContext(ctx, registry.KindTopology, topoKey)
 	if !ok {
 		return nil, fmt.Errorf("not fetchable")
 	}

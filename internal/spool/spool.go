@@ -36,6 +36,7 @@ package spool
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/taskmap"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 const (
@@ -114,6 +116,12 @@ type Spool struct {
 	// faults, when non-nil, hosts the spool's injection points
 	// (faultinject.SpoolWrite/SpoolRead/SpoolScan). nil in production.
 	faults *faultinject.Set
+
+	// tracer, when set, opens root spans for the write-behind path — the
+	// background writer has no request context to parent onto. Read-path
+	// spans ride the request context instead (GetContext) and need no
+	// tracer here. nil means untraced.
+	tracer *trace.Tracer
 }
 
 // TierName implements registry's TierNamer extension.
@@ -175,6 +183,15 @@ func WithMaxAge(d time.Duration) Option {
 // means no injection — the production default.
 func WithFaults(fs *faultinject.Set) Option {
 	return func(s *Spool) { s.faults = fs }
+}
+
+// WithTracer traces the spool's background work: each write-behind persist
+// and each quarantine becomes a root span of its own trace (there is no
+// request context to join by the time the writer goroutine runs). Failed
+// writes and quarantines carry error status, so they are kept even when
+// unsampled. A nil tracer is valid and means untraced.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(s *Spool) { s.tracer = tr }
 }
 
 // New opens (creating if needed) a spool directory and scans it: files
@@ -262,6 +279,14 @@ func (s *Spool) scan() error {
 // for inspection. If the move itself fails the file stays put — the old
 // skip-and-log behavior, just slower.
 func (s *Spool) quarantine(name string, reason error) {
+	if s.tracer.Enabled() {
+		// Quarantines are corruption evidence: a root span with error
+		// status, so every one survives sampling.
+		_, sp := s.tracer.Start(context.Background(), "spool.quarantine")
+		sp.SetAttr("file", name)
+		sp.SetError(reason)
+		sp.End()
+	}
 	s.errors.Add(1)
 	qdir := filepath.Join(s.dir, quarantineDir)
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
@@ -346,6 +371,15 @@ func readKeyHeader(path string) (string, error) {
 // Get implements registry.Store: decode the entry's file, degrading every
 // failure to a logged miss.
 func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
+	return s.GetContext(context.Background(), kind, key)
+}
+
+// GetContext implements registry's CtxGetter extension: Get with the
+// request context threaded through so a traced request sees the decode as
+// a span — including the decode failures that degrade to misses, which
+// keep the span (and its quarantine event) even when the trace is
+// unsampled.
+func (s *Spool) GetContext(ctx context.Context, kind registry.Kind, key string) (any, bool) {
 	s.mu.Lock()
 	k, ok := s.entries[key]
 	s.mu.Unlock()
@@ -354,6 +388,9 @@ func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
 		s.kinds.misses[kindIndex(kind)].Add(1)
 		return nil, false
 	}
+	_, sp := trace.Start(ctx, "spool.read")
+	sp.SetAttr("kind", kind.String())
+	defer sp.End()
 	var (
 		v   any
 		err error
@@ -378,6 +415,8 @@ func (s *Spool) Get(kind registry.Kind, key string) (any, bool) {
 		// the requested entry's file so the next Get is a clean miss
 		// instead of another decode of the same broken bytes. The caller
 		// re-infers/fetches and re-Puts, restoring a good file.
+		sp.SetError(err)
+		sp.AddEvent("quarantine")
 		s.dropEntry(key)
 		s.quarantine(fileName(key, extOf(kind)), err)
 		s.misses.Add(1)
@@ -482,7 +521,7 @@ func (s *Spool) Put(kind registry.Kind, key string, val any) {
 		s.sendMu.RUnlock()
 	default:
 		s.sendMu.RUnlock()
-		s.write(writeOp{kind: kind, key: key, val: val})
+		s.writeTraced(writeOp{kind: kind, key: key, val: val})
 	}
 }
 
@@ -496,21 +535,38 @@ func (s *Spool) writer() {
 			close(op.flush)
 			continue
 		}
-		s.write(op)
+		s.writeTraced(op)
 	}
+}
+
+// writeTraced runs one write-behind persist under a root span: the writer
+// goroutine has no request context, so each persist is its own
+// single-span trace — dropped when clean and unsampled, kept when it
+// fails.
+func (s *Spool) writeTraced(op writeOp) {
+	if !s.tracer.Enabled() {
+		s.write(op)
+		return
+	}
+	_, sp := s.tracer.Start(context.Background(), "spool.write")
+	sp.SetAttr("kind", op.kind.String())
+	sp.SetError(s.write(op))
+	sp.End()
 }
 
 // write persists one entry: encode to a temp file in the spool directory,
 // then rename over the final name — the atomicity that guarantees a crash
-// can never leave a torn file where a reader looks.
-func (s *Spool) write(op writeOp) {
+// can never leave a torn file where a reader looks. The returned error
+// reports the failure for tracing; counters and logs are already handled
+// here, so callers need not act on it.
+func (s *Spool) write(op writeOp) error {
 	var encode func(w io.Writer) error
 	switch v := op.val.(type) {
 	case *topo.Topology:
 		if op.kind != registry.KindTopology {
 			s.logf("dropping write of %q: topology under kind %v", op.key, op.kind)
 			s.errors.Add(1)
-			return
+			return fmt.Errorf("topology under kind %v", op.kind)
 		}
 		encode = func(w io.Writer) error {
 			return EncodeTopology(w, op.key, v)
@@ -519,13 +575,13 @@ func (s *Spool) write(op writeOp) {
 		if op.kind != registry.KindPlacement {
 			s.logf("dropping write of %q: placement under kind %v", op.key, op.kind)
 			s.errors.Add(1)
-			return
+			return fmt.Errorf("placement under kind %v", op.kind)
 		}
 		topoKey, ok := topoKeyOfPlaceKey(op.key)
 		if !ok {
 			s.logf("dropping write of %q: not a placement key", op.key)
 			s.errors.Add(1)
-			return
+			return fmt.Errorf("not a placement key")
 		}
 		// Invariant: a durable sidecar implies a durable topology —
 		// loading the sidecar needs the referenced .mctop file. The
@@ -547,13 +603,13 @@ func (s *Spool) write(op writeOp) {
 		if op.kind != registry.KindMapping {
 			s.logf("dropping write of %q: mapping under kind %v", op.key, op.kind)
 			s.errors.Add(1)
-			return
+			return fmt.Errorf("mapping under kind %v", op.kind)
 		}
 		topoKey, ok := topoKeyOfMapKey(op.key)
 		if !ok {
 			s.logf("dropping write of %q: not a mapping key", op.key)
 			s.errors.Add(1)
-			return
+			return fmt.Errorf("not a mapping key")
 		}
 		// Same durable-topology invariant as placements: a .map sidecar is
 		// only loadable if the .mctop file it references is on disk too.
@@ -571,24 +627,24 @@ func (s *Spool) write(op writeOp) {
 	default:
 		s.logf("dropping write of %q: unsupported value %T", op.key, op.val)
 		s.errors.Add(1)
-		return
+		return fmt.Errorf("unsupported value %T", op.val)
 	}
 	path := filepath.Join(s.dir, fileName(op.key, extOf(op.kind)))
 	if o, fired := s.faults.Eval(faultinject.SpoolWrite); fired {
-		s.failWrite(op, path, encode, o)
-		return
+		return s.failWrite(op, path, encode, o)
 	}
 	if err := topo.WriteFileAtomic(path, encode); err != nil {
 		s.logf("writing %q: %v", op.key, err)
 		s.errors.Add(1)
 		s.writeFailed.Store(true)
-		return
+		return err
 	}
 	s.writeFailed.Store(false)
 	s.puts.Add(1)
 	s.mu.Lock()
 	s.entries[op.key] = op.kind
 	s.mu.Unlock()
+	return nil
 }
 
 // failWrite executes an injected spool.write fault. Modes "enospc",
@@ -597,21 +653,21 @@ func (s *Spool) write(op writeOp) {
 // half-written file directly under the final spool name and indexes it:
 // the shape of a crash mid-write on a filesystem without atomic rename,
 // which the quarantine path must absorb on the next Get or restart scan.
-func (s *Spool) failWrite(op writeOp, path string, encode func(io.Writer) error, o faultinject.Outcome) {
+func (s *Spool) failWrite(op writeOp, path string, encode func(io.Writer) error, o faultinject.Outcome) error {
 	switch o.Mode {
 	case "torn", "short":
 		var buf bytes.Buffer
 		if err := encode(&buf); err != nil {
 			s.logf("writing %q: %v", op.key, err)
 			s.errors.Add(1)
-			return
+			return err
 		}
 		torn := buf.Bytes()[:buf.Len()/2]
 		if err := os.WriteFile(path, torn, 0o644); err != nil {
 			s.logf("writing %q: %v", op.key, err)
 			s.errors.Add(1)
 			s.writeFailed.Store(true)
-			return
+			return err
 		}
 		s.logf("writing %q: torn write injected (%d of %d bytes)", op.key, len(torn), buf.Len())
 		s.errors.Add(1)
@@ -625,10 +681,13 @@ func (s *Spool) failWrite(op writeOp, path string, encode func(io.Writer) error,
 			s.lastKey, s.lastTopo = "", nil
 		}
 		s.lastMu.Unlock()
+		return fmt.Errorf("torn write injected")
 	default: // "enospc", "eperm", "fail", ...
-		s.logf("writing %q: %v", op.key, o.Err(faultinject.SpoolWrite))
+		err := o.Err(faultinject.SpoolWrite)
+		s.logf("writing %q: %v", op.key, err)
 		s.errors.Add(1)
 		s.writeFailed.Store(true)
+		return err
 	}
 }
 

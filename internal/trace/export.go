@@ -1,0 +1,159 @@
+package trace
+
+// Exposition and its strict inverse. The daemon serves the ring as JSON
+// ({"traces":[...]}) or NDJSON (one trace per line); the parsers reject
+// unknown fields, malformed IDs and dangling parents so tests that assert
+// on /v1/debug/traces fail loudly on drift, the same bargain
+// metrics.ParseText strikes for the Prometheus exposition.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes traces as a single JSON document: {"traces":[...]}.
+func WriteJSON(w io.Writer, traces []TraceData) error {
+	if traces == nil {
+		traces = []TraceData{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Traces []TraceData `json:"traces"`
+	}{traces})
+}
+
+// WriteNDJSON writes one trace per line.
+func WriteNDJSON(w io.Writer, traces []TraceData) error {
+	enc := json.NewEncoder(w)
+	for i := range traces {
+		if err := enc.Encode(&traces[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseJSON strictly parses WriteJSON output.
+func ParseJSON(r io.Reader) ([]TraceData, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc struct {
+		Traces []TraceData `json:"traces"`
+	}
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trace: parse: trailing data after document")
+	}
+	for i := range doc.Traces {
+		if err := validateTrace(&doc.Traces[i]); err != nil {
+			return nil, fmt.Errorf("trace: parse: trace %d: %w", i, err)
+		}
+	}
+	return doc.Traces, nil
+}
+
+// ParseNDJSON strictly parses WriteNDJSON output.
+func ParseNDJSON(r io.Reader) ([]TraceData, error) {
+	var out []TraceData
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var td TraceData
+		if err := dec.Decode(&td); err != nil {
+			return nil, fmt.Errorf("trace: parse: line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("trace: parse: line %d: trailing data", line)
+		}
+		if err := validateTrace(&td); err != nil {
+			return nil, fmt.Errorf("trace: parse: line %d: %w", line, err)
+		}
+		out = append(out, td)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	return out, nil
+}
+
+// validateTrace enforces the structural invariants the tracer guarantees:
+// well-formed non-zero IDs, every span on the trace's ID, the local root
+// first, non-negative durations, and no dangling in-trace parents — a
+// non-root span's parent must be another span of the trace; only the root
+// may reference a remote parent, and then only when marked remote.
+func validateTrace(td *TraceData) error {
+	var tid TraceID
+	if !decodeLowerHex(tid[:], td.TraceID) || tid.IsZero() {
+		return fmt.Errorf("bad trace ID %q", td.TraceID)
+	}
+	if len(td.Spans) == 0 {
+		return fmt.Errorf("trace %s has no spans", td.TraceID)
+	}
+	if td.Dropped < 0 {
+		return fmt.Errorf("trace %s: negative droppedSpans", td.TraceID)
+	}
+	ids := make(map[string]bool, len(td.Spans))
+	for i := range td.Spans {
+		sp := &td.Spans[i]
+		var sid SpanID
+		if !decodeLowerHex(sid[:], sp.SpanID) || sid.IsZero() {
+			return fmt.Errorf("span %d: bad span ID %q", i, sp.SpanID)
+		}
+		if ids[sp.SpanID] {
+			return fmt.Errorf("span %d: duplicate span ID %s", i, sp.SpanID)
+		}
+		ids[sp.SpanID] = true
+		if sp.TraceID != td.TraceID {
+			return fmt.Errorf("span %d: trace ID %q != %q", i, sp.TraceID, td.TraceID)
+		}
+		if sp.Name == "" {
+			return fmt.Errorf("span %d: empty name", i)
+		}
+		if sp.Duration < 0 {
+			return fmt.Errorf("span %d: negative duration", i)
+		}
+		if sp.Parent != "" {
+			var pid SpanID
+			if !decodeLowerHex(pid[:], sp.Parent) || pid.IsZero() {
+				return fmt.Errorf("span %d: bad parent ID %q", i, sp.Parent)
+			}
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "" {
+				return fmt.Errorf("span %d: attr with empty key", i)
+			}
+		}
+		for _, e := range sp.Events {
+			if e.Name == "" {
+				return fmt.Errorf("span %d: event with empty name", i)
+			}
+		}
+	}
+	root := &td.Spans[0]
+	if root.Parent != "" && !root.Remote {
+		return fmt.Errorf("root span %s has parent %s but is not marked remote", root.SpanID, root.Parent)
+	}
+	for i := 1; i < len(td.Spans); i++ {
+		sp := &td.Spans[i]
+		if sp.Parent == "" {
+			return fmt.Errorf("span %d (%s) is not the root but has no parent", i, sp.Name)
+		}
+		if !ids[sp.Parent] {
+			return fmt.Errorf("span %d (%s): dangling parent %s", i, sp.Name, sp.Parent)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDeterministicIDs(t *testing.T) {
+	mk := func() (string, string, string) {
+		tr := New(WithSampleRate(1), WithSeed(42))
+		_, root := tr.StartRoot(context.Background(), "root", "")
+		return root.TraceIDString(), root.SpanIDString(), tr.RequestID()
+	}
+	t1, s1, r1 := mk()
+	t2, s2, r2 := mk()
+	if t1 != t2 || s1 != s2 || r1 != r2 {
+		t.Fatalf("same seed produced different IDs: %s/%s/%s vs %s/%s/%s", t1, s1, r1, t2, s2, r2)
+	}
+	tr := New(WithSampleRate(1), WithSeed(43))
+	_, root := tr.StartRoot(context.Background(), "root", "")
+	if root.TraceIDString() == t1 {
+		t.Fatal("different seeds produced the same trace ID")
+	}
+	if len(t1) != 32 || len(s1) != 16 || len(r1) != 16 {
+		t.Fatalf("bad ID lengths: %d/%d/%d", len(t1), len(s1), len(r1))
+	}
+}
+
+func TestDisabledTracerCreatesNoSpans(t *testing.T) {
+	tr := New(WithSampleRate(0), WithSeed(1))
+	ctx, root := tr.StartRoot(context.Background(), "root", "")
+	if root != nil {
+		t.Fatal("disabled tracer returned a span")
+	}
+	if _, child := Start(ctx, "child"); child != nil {
+		t.Fatal("child span created without a parent")
+	}
+	// Everything is nil-safe.
+	root.SetAttr("k", "v")
+	root.SetInt("n", 1)
+	root.AddEvent("e")
+	root.SetStatus("boom")
+	root.End()
+	if st := tr.Stats(); st.Started != 0 || st.Ended != 0 || st.Kept != 0 {
+		t.Fatalf("disabled tracer has stats %+v", st)
+	}
+	if id := tr.RequestID(); len(id) != 16 {
+		t.Fatalf("disabled tracer RequestID = %q", id)
+	}
+}
+
+func TestSampledTraceReachesRing(t *testing.T) {
+	tr := New(WithSampleRate(1), WithSeed(7))
+	ctx, root := tr.StartRoot(context.Background(), "http /v1/topology", "")
+	root.SetAttr("route", "/v1/topology")
+	ctx2, child := Start(ctx, "registry.lookup")
+	child.SetAttr("tier", "lru")
+	child.AddEvent("singleflight.owner")
+	if _, grand := Start(ctx2, "registry.infer"); grand != nil {
+		grand.SetInt("pairs", 120)
+		grand.End()
+	}
+	child.End()
+	root.End()
+
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(traces))
+	}
+	td := traces[0]
+	if len(td.Spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(td.Spans))
+	}
+	if td.Spans[0].Name != "http /v1/topology" {
+		t.Fatalf("root span is %q", td.Spans[0].Name)
+	}
+	if td.Spans[0].Parent != "" {
+		t.Fatalf("fresh root has parent %q", td.Spans[0].Parent)
+	}
+	for _, sp := range td.Spans[1:] {
+		if sp.Parent == "" {
+			t.Fatalf("span %q has no parent", sp.Name)
+		}
+	}
+	if st := tr.Stats(); st.Started != 3 || st.Ended != 3 || st.Kept != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// unsampledTracer returns a tracer whose head decision for the next root is
+// false: an enabled rate so small the seeded stream never clears it.
+func unsampledTracer(opts ...Option) *Tracer {
+	return New(append([]Option{WithSampleRate(1e-12), WithSeed(5)}, opts...)...)
+}
+
+func TestErrorKeepsUnsampledTrace(t *testing.T) {
+	tr := unsampledTracer()
+	// A clean unsampled trace is dropped...
+	ctx, root := tr.StartRoot(context.Background(), "ok", "")
+	_, child := Start(ctx, "child")
+	child.End()
+	root.End()
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Fatalf("clean unsampled trace was kept (%d in ring)", n)
+	}
+	// ...but any errored span forces a keep, even a child's error.
+	ctx, root = tr.StartRoot(context.Background(), "bad", "")
+	_, child = Start(ctx, "child")
+	child.SetStatus("torn write")
+	child.End()
+	root.End()
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("errored trace not kept (%d in ring)", len(traces))
+	}
+	if traces[0].Spans[1].Error != "torn write" {
+		t.Fatalf("child error lost: %+v", traces[0].Spans[1])
+	}
+}
+
+func TestSlowThresholdKeepsUnsampledTrace(t *testing.T) {
+	now := time.Unix(100, 0)
+	clock := func() time.Time { return now }
+	tr := unsampledTracer(WithSlowThreshold(50*time.Millisecond), WithClock(clock))
+	_, root := tr.StartRoot(context.Background(), "fast", "")
+	now = now.Add(10 * time.Millisecond)
+	root.End()
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Fatalf("fast trace kept (%d)", n)
+	}
+	_, root = tr.StartRoot(context.Background(), "slow", "")
+	now = now.Add(60 * time.Millisecond)
+	root.End()
+	traces := tr.Snapshot()
+	if len(traces) != 1 || traces[0].Spans[0].Name != "slow" {
+		t.Fatalf("slow trace not kept: %+v", traces)
+	}
+	if got := traces[0].Spans[0].Duration; got != (60 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("slow root duration %d", got)
+	}
+}
+
+func TestRingIsBoundedAndOrdered(t *testing.T) {
+	tr := New(WithSampleRate(1), WithSeed(9), WithRingSize(4))
+	var want []string
+	for i := 0; i < 10; i++ {
+		_, root := tr.StartRoot(context.Background(), "r", "")
+		want = append(want, root.TraceIDString())
+		root.End()
+	}
+	traces := tr.Snapshot()
+	if len(traces) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(traces))
+	}
+	for i, td := range traces {
+		if td.TraceID != want[6+i] {
+			t.Fatalf("ring[%d] = %s, want %s (oldest-first order)", i, td.TraceID, want[6+i])
+		}
+	}
+	if st := tr.Stats(); st.Kept != 10 || st.RingLen != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(WithSampleRate(1), WithSeed(11))
+	_, root := tr.StartRoot(context.Background(), "edge", "")
+	h := root.Traceparent()
+	tid, pid, sampled, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("own traceparent %q does not parse", h)
+	}
+	if tid.String() != root.TraceIDString() || pid.String() != root.SpanIDString() || !sampled {
+		t.Fatalf("round trip lost fields: %s %s %v from %q", tid, pid, sampled, h)
+	}
+
+	// A second daemon stitches onto the inbound header.
+	tr2 := New(WithSampleRate(1e-12), WithSeed(12)) // would not self-sample
+	_, origin := tr2.StartRoot(context.Background(), "origin", h)
+	if origin.TraceIDString() != root.TraceIDString() {
+		t.Fatal("remote root did not adopt the inbound trace ID")
+	}
+	if !origin.Sampled() {
+		t.Fatal("remote root ignored the inbound sampled flag")
+	}
+	origin.End()
+	traces := tr2.Snapshot()
+	if len(traces) != 1 || !traces[0].Spans[0].Remote || traces[0].Spans[0].Parent != root.SpanIDString() {
+		t.Fatalf("stitched trace wrong: %+v", traces)
+	}
+
+	for _, bad := range []string{
+		"",
+		"01-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01", // wrong version
+		"00-" + strings.Repeat("AB", 16) + "-" + strings.Repeat("cd", 8) + "-01", // uppercase
+		"00-" + strings.Repeat("00", 16) + "-" + strings.Repeat("cd", 8) + "-01", // zero trace ID
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("00", 8) + "-01", // zero span ID
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-1",  // short flags
+		"00-" + strings.Repeat("ab", 16) + "_" + strings.Repeat("cd", 8) + "-01", // bad separator
+	} {
+		if _, _, _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent accepted %q", bad)
+		}
+	}
+}
+
+func TestExportParseRoundTrip(t *testing.T) {
+	tr := New(WithSampleRate(1), WithSeed(13))
+	for i := 0; i < 3; i++ {
+		ctx, root := tr.StartRoot(context.Background(), "root", "")
+		root.SetAttr("route", "/v1/place")
+		_, child := Start(ctx, "spool.read")
+		child.SetInt("bytes", 512)
+		child.AddEvent("decode")
+		if i == 2 {
+			child.SetStatus("checksum mismatch")
+		}
+		child.End()
+		root.End()
+	}
+	orig := tr.Snapshot()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("JSON round trip: %d traces, want %d", len(parsed), len(orig))
+	}
+
+	buf.Reset()
+	if err := WriteNDJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err = ParseNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) || parsed[2].Spans[1].Error != "checksum mismatch" {
+		t.Fatalf("NDJSON round trip lost data: %+v", parsed)
+	}
+	if parsed[0].Spans[1].Events[0].Name != "decode" {
+		t.Fatalf("events lost: %+v", parsed[0].Spans[1])
+	}
+}
+
+func TestParserIsStrict(t *testing.T) {
+	const tid = "0123456789abcdef0123456789abcdef"
+	root := `{"traceID":"` + tid + `","spanID":"1111111111111111","name":"r","startUnixNano":1,"durationNano":2}`
+	for name, doc := range map[string]string{
+		"unknown field":   `{"traces":[{"traceID":"` + tid + `","bogus":1,"spans":[` + root + `]}]}`,
+		"no spans":        `{"traces":[{"traceID":"` + tid + `","spans":[]}]}`,
+		"bad trace id":    `{"traces":[{"traceID":"xyz","spans":[` + root + `]}]}`,
+		"dangling parent": `{"traces":[{"traceID":"` + tid + `","spans":[` + root + `,{"traceID":"` + tid + `","spanID":"2222222222222222","parent":"3333333333333333","name":"c","startUnixNano":1,"durationNano":1}]}]}`,
+		"orphan non-root": `{"traces":[{"traceID":"` + tid + `","spans":[` + root + `,{"traceID":"` + tid + `","spanID":"2222222222222222","name":"c","startUnixNano":1,"durationNano":1}]}]}`,
+		"foreign root parent, not remote": `{"traces":[{"traceID":"` + tid + `","spans":[` +
+			`{"traceID":"` + tid + `","spanID":"1111111111111111","parent":"4444444444444444","name":"r","startUnixNano":1,"durationNano":2}]}]}`,
+		"mismatched span trace id": `{"traces":[{"traceID":"` + tid + `","spans":[` +
+			`{"traceID":"ffffffffffffffffffffffffffffffff","spanID":"1111111111111111","name":"r","startUnixNano":1,"durationNano":2}]}]}`,
+	} {
+		if _, err := ParseJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted %s", name, doc)
+		}
+	}
+	// The valid skeleton itself parses, so the rejections above are real.
+	if _, err := ParseJSON(strings.NewReader(`{"traces":[{"traceID":"` + tid + `","spans":[` + root + `]}]}`)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestSpanBalanceConcurrent(t *testing.T) {
+	tr := New(WithSampleRate(1), WithSeed(17), WithRingSize(8))
+	const roots, children = 16, 32
+	var wg sync.WaitGroup
+	for r := 0; r < roots; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx, root := tr.StartRoot(context.Background(), "root", "")
+			var cw sync.WaitGroup
+			for c := 0; c < children; c++ {
+				cw.Add(1)
+				go func(c int) {
+					defer cw.Done()
+					_, sp := Start(ctx, "child")
+					sp.SetInt("c", int64(c))
+					if c%7 == 0 {
+						sp.SetStatus("injected")
+					}
+					sp.End()
+					sp.End() // double End is a no-op
+				}(c)
+			}
+			cw.Wait()
+			root.End()
+		}(r)
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Started != st.Ended {
+		t.Fatalf("span imbalance: started %d, ended %d", st.Started, st.Ended)
+	}
+	if want := int64(roots * (children + 1)); st.Started != want {
+		t.Fatalf("started %d, want %d", st.Started, want)
+	}
+	if st.RingLen > 8 {
+		t.Fatalf("ring overflow: %d", st.RingLen)
+	}
+}
+
+func TestLateChildAfterRootEndIsDropped(t *testing.T) {
+	tr := New(WithSampleRate(1), WithSeed(19))
+	ctx, root := tr.StartRoot(context.Background(), "root", "")
+	_, late := Start(ctx, "late")
+	root.End()
+	late.End()
+	st := tr.Stats()
+	if st.Started != 2 || st.Ended != 2 {
+		t.Fatalf("balance broken: %+v", st)
+	}
+	if st.Dropped != 1 {
+		t.Fatalf("late span not counted dropped: %+v", st)
+	}
+	traces := tr.Snapshot()
+	if len(traces) != 1 || len(traces[0].Spans) != 1 {
+		t.Fatalf("late span leaked into the kept trace: %+v", traces)
+	}
+}
+
+func TestPerTraceSpanBound(t *testing.T) {
+	tr := New(WithSampleRate(1), WithSeed(23))
+	ctx, root := tr.StartRoot(context.Background(), "root", "")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		_, sp := Start(ctx, "c")
+		sp.End()
+	}
+	root.End()
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatal("trace not kept")
+	}
+	if got := len(traces[0].Spans); got != maxSpansPerTrace {
+		t.Fatalf("trace holds %d spans, want the %d bound", got, maxSpansPerTrace)
+	}
+	if traces[0].Dropped != 11 {
+		t.Fatalf("dropped = %d, want 11", traces[0].Dropped)
+	}
+	if st := tr.Stats(); st.Started != st.Ended {
+		t.Fatalf("balance broken: %+v", st)
+	}
+}
+
+func TestBackgroundRootViaTracerStart(t *testing.T) {
+	// The spool's write-behind path: no span in ctx, tracer-level Start
+	// makes a root; an error keeps it even when unsampled.
+	tr := unsampledTracer()
+	_, sp := tr.Start(context.Background(), "spool.write")
+	sp.SetStatus("enospc")
+	sp.End()
+	traces := tr.Snapshot()
+	if len(traces) != 1 || traces[0].Spans[0].Name != "spool.write" {
+		t.Fatalf("background write trace missing: %+v", traces)
+	}
+	// With a span already in ctx, tracer Start defers to the child path.
+	tr2 := New(WithSampleRate(1), WithSeed(29))
+	ctx, root := tr2.StartRoot(context.Background(), "root", "")
+	_, child := tr2.Start(ctx, "child")
+	if child.TraceIDString() != root.TraceIDString() {
+		t.Fatal("tracer Start ignored the ambient span")
+	}
+	child.End()
+	root.End()
+}

@@ -98,6 +98,7 @@ import (
 	"repro/internal/spool"
 	"repro/internal/taskmap"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Topology is the MCTOP abstraction (see internal/topo for the full API).
@@ -267,6 +268,7 @@ type registryConfig struct {
 	upstream      string
 	inferWrap     func(InferCtxFunc) InferCtxFunc
 	mapWrap       func(MapFunc) MapFunc
+	tracer        *Tracer
 }
 
 // WithStore installs a custom cache store — typically a NewTieredStore
@@ -337,6 +339,36 @@ func WithMapWrapper(wrap func(MapFunc) MapFunc) RegistryOption {
 	return func(c *registryConfig) { c.mapWrap = wrap }
 }
 
+// Tracer is the span plane of internal/trace: a sampling, bounded,
+// dependency-free request tracer. Registry and store instrumentation emit
+// spans into whatever tracer the request context carries; WithRegistryTracer
+// additionally hands the tracer to tiers that run work outside any request
+// (the spool's background writer).
+type Tracer = trace.Tracer
+
+// TracerOption configures NewTracer (see internal/trace's With* options).
+type TracerOption = trace.Option
+
+// NewTracer creates a Tracer; without options it is disabled (sample rate
+// 0) and every instrumentation call is a no-op.
+func NewTracer(opts ...TracerOption) *Tracer { return trace.New(opts...) }
+
+// WithTraceSampleRate sets the head-sampling probability in [0, 1].
+func WithTraceSampleRate(r float64) TracerOption { return trace.WithSampleRate(r) }
+
+// WithTraceSlowThreshold keeps every trace whose root span lasts at least
+// d, regardless of the sampling decision (0 disables slow-keeping).
+func WithTraceSlowThreshold(d time.Duration) TracerOption { return trace.WithSlowThreshold(d) }
+
+// WithRegistryTracer hands tr to the storage tiers NewRegistry builds that
+// do work outside any request context — today the spool, whose write-behind
+// goroutine opens its own root spans for background persists and
+// quarantines. Request-path spans need no option: they follow the context.
+// No-op when the tiers are supplied ready-made via WithStore.
+func WithRegistryTracer(tr *Tracer) RegistryOption {
+	return func(c *registryConfig) { c.tracer = tr }
+}
+
 // OpenSpool opens (creating if needed) a description-file spool directory
 // as a Store tier — the error-returning path behind WithSpoolDir. Wire it
 // in with WithStore:
@@ -404,7 +436,11 @@ func NewRegistry(maxEntries int, opts ...RegistryOption) *Registry {
 	if c.store == nil && (c.spoolDir != "" || c.upstream != "") {
 		tiers := []Store{registry.NewLRU(maxEntries, 0)}
 		if c.spoolDir != "" {
-			sp, err := spool.New(c.spoolDir, spoolLimitOptions(c.spoolMaxBytes, c.spoolMaxAge)...)
+			sopts := spoolLimitOptions(c.spoolMaxBytes, c.spoolMaxAge)
+			if c.tracer.Enabled() {
+				sopts = append(sopts, spool.WithTracer(c.tracer))
+			}
+			sp, err := spool.New(c.spoolDir, sopts...)
 			if err != nil {
 				panic(fmt.Sprintf("mctop: opening spool: %v", err))
 			}
